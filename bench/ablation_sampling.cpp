@@ -1,0 +1,74 @@
+// Ablation: the sampling-machinery explanation of Section 6.2.
+//
+// The paper attributes the Fig. 7 crossover to implementation detail: "in
+// RHHH, sampling is implemented as a geometric random variable, which is
+// inefficient for small sampling probabilities, whereas in H-Memento it is
+// performed using a random number table". This bench isolates exactly that:
+// raw decisions/second of the two schemes (plus std::bernoulli_distribution
+// as a library reference point) across the tau sweep used in the paper.
+//
+// Expected shape: the table sampler's cost is flat in tau; the geometric
+// sampler is slow at tau near 1 (one log per sampled event) and becomes the
+// cheapest as tau -> 0 (skips amortize the draw away).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "util/random.hpp"
+
+namespace {
+
+using namespace memento;
+
+void table_sampler(benchmark::State& state) {
+  const double tau = 1.0 / static_cast<double>(state.range(0));
+  random_table_sampler sampler(tau, 1u << 16, 1);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) hits += sampler.sample();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void geometric_skip_sampler(benchmark::State& state) {
+  const double tau = 1.0 / static_cast<double>(state.range(0));
+  geometric_sampler sampler(tau, 1);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) hits += sampler.sample();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void std_bernoulli(benchmark::State& state) {
+  const double tau = 1.0 / static_cast<double>(state.range(0));
+  std::mt19937_64 rng(1);
+  std::bernoulli_distribution dist(tau);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) hits += dist(rng);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void register_all() {
+  for (std::int64_t inv_tau : {1, 4, 16, 64, 256, 1024, 4096}) {
+    benchmark::RegisterBenchmark("ablation/table_sampler", table_sampler)->Arg(inv_tau);
+    benchmark::RegisterBenchmark("ablation/geometric_sampler", geometric_skip_sampler)
+        ->Arg(inv_tau);
+    benchmark::RegisterBenchmark("ablation/std_bernoulli", std_bernoulli)->Arg(inv_tau);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Figure 10: the HTTP-flood experiment. 50 random 8-bit subnets take over
+// 70% of the traffic at a random point; ten load-balancer vantages report to
+// the controller under a 1 byte/packet budget. We measure, for each
+// communication method plus the OPT oracle (an exact global window):
+//
+//   (a) subnets detected over time (Fig. 10a, with an early zoom = Fig. 10b);
+//   (c) flood requests missed (arriving before their subnet's detection),
+//       as a count and as a percentage (Fig. 10c).
+//
+// Expected shape (paper): Batch is near OPT; Sample lags slightly;
+// Aggregation detects late and misses ~37x more attack requests than Batch.
+#include <array>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "netwide/simulation.hpp"
+#include "sketch/exact_window.hpp"
+#include "trace/flood_injector.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace memento;
+using namespace memento::netwide;
+
+constexpr std::uint64_t kWindow = 500'000;
+constexpr std::size_t kBasePackets = 1'200'000;
+constexpr double kTheta = 0.01;  // each flooding /8 holds ~1.4% >> theta
+constexpr std::size_t kDetectStride = 2'000;
+
+struct approach_result {
+  std::string name;
+  std::vector<std::size_t> detected_series;  // per checkpoint
+  std::uint64_t missed = 0;
+  std::uint64_t attack_total = 0;
+  double first_detect_packets = -1.0;  // packets after flood start (mean)
+};
+
+/// Runs one approach over the flood trace. `estimate` is the approach's
+/// current /8-frequency oracle; `ingest` advances it.
+template <typename IngestFn, typename EstimateFn>
+approach_result run_approach(const std::string& name, const flood_trace& flood,
+                             IngestFn&& ingest, EstimateFn&& estimate) {
+  approach_result result;
+  result.name = name;
+  std::vector<bool> detected(flood.subnets.size(), false);
+  std::vector<double> detect_at(flood.subnets.size(), -1.0);
+  std::size_t num_detected = 0;
+
+  const double bar = kTheta * static_cast<double>(kWindow);
+  for (std::size_t i = 0; i < flood.packets.size(); ++i) {
+    const auto& lp = flood.packets[i];
+    ingest(lp.pkt);
+    if (lp.is_attack) {
+      ++result.attack_total;
+      if (!detected[lp.attack_subnet]) ++result.missed;
+    }
+    if (i % kDetectStride == 0 && i >= flood.flood_start) {
+      for (std::size_t s = 0; s < flood.subnets.size(); ++s) {
+        if (detected[s]) continue;
+        if (estimate(flood.subnets[s]) >= bar) {
+          detected[s] = true;
+          detect_at[s] = static_cast<double>(i - flood.flood_start);
+          ++num_detected;
+        }
+      }
+      result.detected_series.push_back(num_detected);
+    }
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const double t : detect_at) {
+    if (t >= 0) {
+      sum += t;
+      ++n;
+    }
+  }
+  result.first_detect_packets = n > 0 ? sum / static_cast<double>(n) : -1.0;
+  return result;
+}
+
+approach_result run_method(comm_method method, const flood_trace& flood) {
+  harness_config cfg;
+  cfg.method = method;
+  cfg.num_points = 10;
+  cfg.window = kWindow;
+  cfg.budget = budget_model{1.0, 64.0, 4.0};
+  cfg.counters = 4096;
+  netwide_harness<source_hierarchy> harness(cfg);
+  // Threshold detection uses the midpoint estimate: the one-sided upper
+  // bound would fire systematically early (before OPT), which is a false
+  // positive by the window-HH definition of Section 3.
+  return run_approach(
+      method_name(method), flood, [&](const packet& p) { harness.ingest(p); },
+      [&](std::uint32_t subnet) {
+        return harness.estimate_midpoint(prefix1d::make_key(subnet, 3));
+      });
+}
+
+approach_result run_opt(const flood_trace& flood) {
+  // OPT: an exact global sliding window over /8 prefixes, no delay, no
+  // sampling ("knows exactly what traffic enters the load-balancers").
+  exact_window<std::uint32_t> window(kWindow);
+  return run_approach(
+      "OPT", flood, [&](const packet& p) { window.add(p.src & 0xff000000u); },
+      [&](std::uint32_t subnet) { return static_cast<double>(window.query(subnet)); });
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 10: HTTP flood detection (50 subnets, 70% share) ===");
+  std::printf("W=%llu, theta=%.2f%%, B=1 byte/pkt, m=10, detection every %zu pkts\n",
+              static_cast<unsigned long long>(kWindow), kTheta * 100.0, kDetectStride);
+
+  auto base = make_trace(trace_kind::backbone, kBasePackets, 42);
+  flood_config fc;
+  fc.num_subnets = 50;
+  fc.flood_probability = 0.7;
+  fc.start_range = 1'000'000;
+  const auto flood = inject_flood(base, fc);
+  std::printf("flood starts at line %zu; composed trace = %zu packets\n\n",
+              flood.flood_start, flood.packets.size());
+
+  std::vector<approach_result> results;
+  results.push_back(run_opt(flood));
+  results.push_back(run_method(comm_method::batch, flood));
+  results.push_back(run_method(comm_method::sample, flood));
+  results.push_back(run_method(comm_method::aggregation, flood));
+
+  std::puts("--- Fig 10a/b: subnets detected vs. packets since flood start ---");
+  {
+    console_table table({"pkts_since", "OPT", "batch", "sample", "aggregation"});
+    table.print_header();
+    const std::size_t points = results[0].detected_series.size();
+    // Log-spaced checkpoints: dense early (the Fig. 10b zoom), then regular
+    // steps through the detection ramp.
+    std::vector<std::size_t> rows;
+    for (std::size_t idx = 1; idx < points; idx = idx < 64 ? idx * 2 : idx + points / 24) {
+      rows.push_back(idx);
+    }
+    if (rows.empty() || rows.back() != points - 1) rows.push_back(points - 1);
+    for (const auto idx : rows) {
+      table.cell(static_cast<long long>(idx * kDetectStride));
+      for (const auto& r : results) {
+        table.cell(static_cast<int>(idx < r.detected_series.size()
+                                        ? r.detected_series[idx]
+                                        : r.detected_series.back()));
+      }
+      table.end_row();
+    }
+  }
+
+  std::puts("\n--- Fig 10c: missed flood requests (before detection) ---");
+  {
+    console_table table({"approach", "missed", "missed_pct", "mean_detect"}, 16);
+    table.print_header();
+    const double batch_missed =
+        static_cast<double>(results[1].missed > 0 ? results[1].missed : 1);
+    const double opt_missed = static_cast<double>(results[0].missed);
+    for (const auto& r : results) {
+      table.cell(r.name)
+          .cell(static_cast<long long>(r.missed))
+          .cell(100.0 * static_cast<double>(r.missed) /
+                    static_cast<double>(r.attack_total),
+                3)
+          .cell(r.first_detect_packets, 0);
+      table.end_row();
+      if (r.name == "aggregation") {
+        const double batch_excess =
+            std::max(1.0, static_cast<double>(results[1].missed) - opt_missed);
+        const double agg_excess = static_cast<double>(r.missed) - opt_missed;
+        std::printf("  -> aggregation misses %.1fx more than batch overall;\n"
+                    "     method-induced misses (excess over OPT): batch %+.0f, "
+                    "aggregation %+.0f (%.0fx)\n"
+                    "     (paper: up to 37x; our aggregation idealization is stronger "
+                    "than the paper's, see EXPERIMENTS.md)\n",
+                    static_cast<double>(r.missed) / batch_missed,
+                    static_cast<double>(results[1].missed) - opt_missed, agg_excess,
+                    agg_excess / batch_excess);
+      }
+    }
+    std::puts("  mean_detect: packets from flood start to detection, averaged over subnets.");
+  }
+  return 0;
+}

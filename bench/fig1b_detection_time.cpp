@@ -1,0 +1,39 @@
+// Figure 1b: expected detection time of a new heavy hitter, in windows, as a
+// function of the ratio between its normalized frequency and the threshold.
+//
+// Prints the closed-form model and a packet-level Monte-Carlo simulation side
+// by side for the three methods (Window, Improved Interval, Interval).
+// Expected shape (paper): Window is always fastest; at ratio 2 it needs half
+// a window while the interval methods need 0.6-1.0; near the threshold the
+// gap vs. Interval approaches 40%.
+#include <cstdio>
+
+#include "core/detection_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace memento;
+  std::puts("=== Figure 1b: detection time vs. frequency/threshold ratio ===");
+  std::puts("model = closed form, sim = packet-level Monte-Carlo (W=4000, 400 trials)");
+  std::puts("");
+
+  console_table table({"ratio", "window", "improved", "interval", "win(sim)", "imp(sim)",
+                       "int(sim)", "gain_vs_int"});
+  table.print_header();
+
+  for (double ratio : {1.05, 1.1, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25, 2.5, 2.75, 3.0}) {
+    const auto model = detection::expected_delays(ratio);
+    const auto sim = detection::simulate_delays(ratio, 0.02, 4000, 400, /*seed=*/1);
+    table.cell(ratio, 2)
+        .cell(model.window, 3)
+        .cell(model.improved_interval, 3)
+        .cell(model.interval, 3)
+        .cell(sim.window, 3)
+        .cell(sim.improved_interval, 3)
+        .cell(sim.interval, 3)
+        .cell(100.0 * (1.0 - model.window / model.interval), 1);
+    table.end_row();
+  }
+  std::puts("\ngain_vs_int: % faster detection of Window vs. the Interval method.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5 a/c/e: Memento update speed as a function of the sampling
+// probability tau, for 64/512/4096 counters, on the three trace surrogates.
+// WCSS is the tau = 1 row of each series.
+//
+// Expected shape (paper): throughput is governed by tau and nearly
+// indifferent to the counter budget; Memento reaches up to ~14x WCSS.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memento.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace {
+
+using namespace memento;
+
+constexpr std::size_t kTracePackets = 2'000'000;
+constexpr std::uint64_t kWindow = 1'000'000;
+
+/// Pre-materialized flow-id traces (generated once per process).
+const std::vector<std::uint64_t>& trace_ids(trace_kind kind) {
+  static std::vector<std::uint64_t> cache[3];
+  auto& slot = cache[static_cast<int>(kind)];
+  if (slot.empty()) {
+    trace_generator gen(kind, 42);
+    slot.reserve(kTracePackets);
+    for (std::size_t i = 0; i < kTracePackets; ++i) slot.push_back(flow_id(gen.next()));
+  }
+  return slot;
+}
+
+void hh_speed(benchmark::State& state) {
+  const auto kind = static_cast<trace_kind>(state.range(0));
+  const auto counters = static_cast<std::size_t>(state.range(1));
+  const double tau = 1.0 / static_cast<double>(state.range(2));
+
+  const auto& ids = trace_ids(kind);
+  memento_sketch<std::uint64_t> sketch(kWindow, counters, tau, /*seed=*/1);
+
+  for (auto _ : state) {
+    for (const auto id : ids) sketch.update(id);
+    benchmark::DoNotOptimize(sketch.stream_length());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ids.size()));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(ids.size()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(trace_name(kind)) + "/k=" + std::to_string(counters) +
+                 "/tau=1/" + std::to_string(state.range(2)));
+}
+
+void register_all() {
+  for (int kind = 0; kind < 3; ++kind) {
+    for (std::int64_t counters : {64, 512, 4096}) {
+      for (std::int64_t inv_tau : {1, 4, 16, 64, 256, 1024}) {
+        benchmark::RegisterBenchmark("fig5/hh_speed", hh_speed)
+            ->Args({kind, counters, inv_tau})
+            ->MinTime(0.1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 6: H-Memento update speed vs. the Baseline (MST over WCSS) on the
+// backbone surrogate, in one dimension (H=5) and two (H=25), for counter
+// budgets 64H / 512H / 4096H.
+//
+// Expected shape (paper): tau dominates; H-Memento reaches up to ~52x (1D)
+// and ~273x (2D) over the Baseline, because the Baseline pays H Full updates
+// per packet while H-Memento pays at most one.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/baseline_window_mst.hpp"
+#include "core/h_memento.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace {
+
+using namespace memento;
+
+constexpr std::size_t kTracePackets = 1'000'000;
+constexpr std::uint64_t kWindow = 1'000'000;
+
+const std::vector<packet>& bench_trace() {
+  static const std::vector<packet> trace = make_trace(trace_kind::backbone, kTracePackets, 42);
+  return trace;
+}
+
+template <typename H>
+void hhh_memento_speed(benchmark::State& state) {
+  const auto counters_per_h = static_cast<std::size_t>(state.range(0));
+  const double tau = 1.0 / static_cast<double>(state.range(1));
+  h_memento<H> alg(kWindow, counters_per_h * H::hierarchy_size, tau, 1e-3, /*seed=*/1);
+  const auto& trace = bench_trace();
+  for (auto _ : state) {
+    for (const auto& p : trace) alg.update(p);
+    benchmark::DoNotOptimize(alg.stream_length());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(trace.size()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+template <typename H>
+void hhh_baseline_speed(benchmark::State& state) {
+  const auto counters_per_h = static_cast<std::size_t>(state.range(0));
+  baseline_window_mst<H> alg(kWindow, counters_per_h * H::hierarchy_size);
+  const auto& trace = bench_trace();
+  for (auto _ : state) {
+    for (const auto& p : trace) alg.update(p);
+    benchmark::DoNotOptimize(alg.stream_length());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(trace.size()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void register_all() {
+  for (std::int64_t counters : {64, 512, 4096}) {
+    for (std::int64_t inv_tau : {1, 8, 64, 512}) {
+      benchmark::RegisterBenchmark("fig6/h_memento_1d", hhh_memento_speed<source_hierarchy>)
+          ->Args({counters, inv_tau})
+          ->MinTime(0.1)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark("fig6/h_memento_2d", hhh_memento_speed<two_dim_hierarchy>)
+          ->Args({counters, inv_tau})
+          ->MinTime(0.1)
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark("fig6/baseline_1d", hhh_baseline_speed<source_hierarchy>)
+        ->Args({counters})
+        ->MinTime(0.1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("fig6/baseline_2d", hhh_baseline_speed<two_dim_hierarchy>)
+        ->Args({counters})
+        ->MinTime(0.1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 8: on-arrival accuracy of the HHH algorithms - Interval (MST),
+// Baseline (windowed MST) and H-Memento - against the exact sliding window,
+// per trace surrogate and per prefix depth.
+//
+// Configuration mirrors Section 6.3.1 scaled to harness size: window
+// algorithms at eps_a = 0.1% of W; the Interval instance at a smaller eps_a
+// for comparable memory; the Interval algorithm resets every W packets.
+//
+// Expected shape (paper): Interval is the least accurate (staleness across
+// resets); H-Memento is slightly less accurate than the Baseline due to
+// sampling; both window algorithms are close at every prefix length.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/baseline_window_mst.hpp"
+#include "core/h_memento.hpp"
+#include "core/mst.hpp"
+#include "sketch/exact_hhh.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace memento;
+
+constexpr std::uint64_t kWindow = 200'000;
+constexpr std::size_t kPackets = 800'000;
+constexpr std::size_t kProbeStride = 53;
+// Window algorithms: eps_a = 0.1% -> 4/0.001 = 4000 counters worth of
+// precision shared across the hierarchy; Interval: 2000 counters/instance.
+constexpr std::size_t kWindowCounters = 4000;
+constexpr std::size_t kIntervalCountersPerInstance = 2000;
+constexpr double kTau = 5.0 / 128.0;  // effective per-prefix rate 1/128
+
+struct series {
+  double rmse_total = 0.0;
+  std::array<double, 5> rmse_by_depth{};
+};
+
+series run_trace(trace_kind kind) {
+  trace_generator gen(kind, 42);
+  h_memento<source_hierarchy> hmem(kWindow, kWindowCounters, kTau, 1e-3, /*seed=*/3);
+  baseline_window_mst<source_hierarchy> baseline(kWindow, kWindowCounters);
+  mst<source_hierarchy> interval(kIntervalCountersPerInstance);
+  exact_hhh<source_hierarchy> exact(hmem.window_size());
+
+  std::array<double, 3> sq{};                   // hmem, baseline, interval
+  std::array<std::array<double, 3>, 5> sq_d{};  // per depth
+  std::size_t probes = 0;
+
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const packet p = gen.next();
+    if (i % kWindow == 0) interval.reset();
+    hmem.update(p);
+    baseline.update(p);
+    interval.update(p);
+    exact.update(p);
+    if (i > kWindow && i % kProbeStride == 0) {
+      for (std::size_t d = 0; d < 5; ++d) {
+        const auto key = source_hierarchy::key_at(p, d);
+        const double truth = static_cast<double>(exact.query(key));
+        const double e0 = hmem.query(key) - truth;
+        const double e1 = baseline.query(key) - truth;
+        const double e2 = interval.query(key) - truth;
+        sq[0] += e0 * e0;
+        sq[1] += e1 * e1;
+        sq[2] += e2 * e2;
+        sq_d[d][0] += e0 * e0;
+        sq_d[d][1] += e1 * e1;
+        sq_d[d][2] += e2 * e2;
+      }
+      ++probes;
+    }
+  }
+
+  const double n = static_cast<double>(probes) * 5.0;
+  const double nd = static_cast<double>(probes);
+  std::printf("\n--- %s trace (probes=%zu) ---\n", trace_name(kind), probes);
+  console_table table({"algorithm", "rmse", "/32", "/24", "/16", "/8", "/0"});
+  table.print_header();
+  const char* names[3] = {"h-memento", "baseline", "interval(MST)"};
+  for (int a = 0; a < 3; ++a) {
+    table.cell(names[a]).cell(std::sqrt(sq[a] / n), 1);
+    for (std::size_t d = 0; d < 5; ++d) table.cell(std::sqrt(sq_d[d][a] / nd), 1);
+    table.end_row();
+  }
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 8: on-arrival HHH accuracy (W=200k, N=800k, H=5) ===");
+  std::printf("window algs: %zu counters (eps_a=0.1%%), tau=%.4f; interval: %zu/instance\n",
+              kWindowCounters, kTau, kIntervalCountersPerInstance);
+  for (trace_kind kind : {trace_kind::backbone, trace_kind::datacenter, trace_kind::edge}) {
+    run_trace(kind);
+  }
+  std::puts("\nExpected: interval worst everywhere; h-memento ~ baseline (slightly above).");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// End-to-end DDoS mitigation: the paper's flagship application (Section 6.4
+// and Figure 3). Ten load balancers front a backend pool; an HTTP flood from
+// 30 random /8 subnets begins mid-run; the balancers report to a centralized
+// controller over a 1 byte/packet budget (Batch method); the controller runs
+// D-H-Memento over the global window and pushes deny rules for subnets whose
+// window share exceeds the threshold.
+//
+//   build/examples/ddos_mitigation
+#include <cstdio>
+
+#include "lb/cluster.hpp"
+#include "trace/flood_injector.hpp"
+#include "trace/trace_generator.hpp"
+
+int main() {
+  using namespace memento;
+
+  lb::cluster_config cfg;
+  cfg.num_balancers = 10;
+  cfg.backends_per_lb = 4;
+  cfg.method = netwide::comm_method::batch;  // Theorem 5.5 optimal batch size
+  cfg.window = 300'000;
+  cfg.budget = netwide::budget_model{1.0, 64.0, 4.0};
+  cfg.counters = 4096;
+  cfg.theta = 0.015;        // block subnets above 1.5% of the window
+  cfg.detect_stride = 1'000;
+  lb::cluster cluster(cfg);
+
+  std::puts("composing attack trace: 30 flooding /8 subnets, 70% of traffic...");
+  auto base = make_trace(trace_kind::backbone, 500'000, /*seed=*/11);
+  flood_config fc;
+  fc.num_subnets = 30;
+  fc.flood_probability = 0.7;
+  fc.start_range = 250'000;
+  const auto flood = inject_flood(base, fc);
+  std::printf("flood starts at request %zu of %zu\n\n", flood.flood_start,
+              flood.packets.size());
+
+  std::uint64_t attack_total = 0;
+  std::uint64_t attack_blocked = 0;
+  std::uint64_t legit_blocked = 0;
+  std::uint64_t legit_total = 0;
+  std::size_t next_report = flood.flood_start;
+
+  for (std::size_t i = 0; i < flood.packets.size(); ++i) {
+    const auto& lp = flood.packets[i];
+    const auto verdict = cluster.handle(lb::request_from_packet(lp.pkt));
+    if (lp.is_attack) {
+      ++attack_total;
+      attack_blocked += verdict != lb::verdict::forwarded;
+    } else {
+      ++legit_total;
+      legit_blocked += verdict != lb::verdict::forwarded;
+    }
+    if (i == next_report && i >= flood.flood_start) {
+      std::printf("t=%8zu  blocked subnets: %2zu/30   attack stopped so far: %5.1f%%\n", i,
+                  cluster.blocked().size(),
+                  attack_total ? 100.0 * static_cast<double>(attack_blocked) /
+                                     static_cast<double>(attack_total)
+                               : 0.0);
+      next_report += 150'000;
+    }
+  }
+
+  const auto totals = cluster.total_stats();
+  std::puts("\n=== final report ===");
+  std::printf("requests handled : %llu (%llu denied at the ACLs)\n",
+              static_cast<unsigned long long>(totals.received),
+              static_cast<unsigned long long>(totals.denied));
+  std::printf("blocked subnets  : %zu (30 true attackers)\n", cluster.blocked().size());
+  std::printf("attack traffic   : %5.1f%% blocked (%llu of %llu requests)\n",
+              100.0 * static_cast<double>(attack_blocked) / static_cast<double>(attack_total),
+              static_cast<unsigned long long>(attack_blocked),
+              static_cast<unsigned long long>(attack_total));
+  std::printf("collateral damage: %.3f%% of legitimate requests blocked\n",
+              100.0 * static_cast<double>(legit_blocked) / static_cast<double>(legit_total));
+  std::puts("                   (inherent to /8-granular blocking: legitimate clients");
+  std::puts("                    sharing an attacking subnet are denied with it)");
+  std::printf("control overhead : %.3f bytes per ingress request (budget: %.1f)\n",
+              cluster.harness().bytes_per_packet(), cfg.budget.bytes_per_packet);
+  return 0;
+}

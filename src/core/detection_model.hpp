@@ -1,0 +1,134 @@
+// Section 3 / Figure 1b: how fast does each measurement method detect a new
+// heavy hitter?
+//
+// Scenario: a new flow appears at a uniformly random point of the interval
+// grid and thereafter receives a constant fraction p = ratio * theta of the
+// traffic (ratio >= 1). Three methods are compared (Section 3, "Motivation"):
+//
+//   * Window:            window frequency estimated on every arrival;
+//                        detects at exactly (theta/p) W = W / ratio packets -
+//                        the optimal detection point by definition.
+//   * Improved interval: per-interval count checked on every arrival;
+//                        detection can slip past an interval reset.
+//   * Interval:          counts only inspected at interval boundaries.
+//
+// Both the closed-form expectations (derived below, matching the paper's
+// "0.6-1.0 windows at ratio 2" and the "up to 40% faster" headline) and a
+// packet-level Monte-Carlo simulation over exact counters are provided; the
+// Fig. 1b bench prints them side by side as model vs. simulation.
+//
+// Closed forms (phi ~ U[0, W) is the flow's offset in its first interval,
+// r = ratio, all times in windows):
+//   window:   1/r
+//   improved: detection needs W/r packets before the running interval ends;
+//             succeeds immediately iff phi <= W(1 - 1/r), else waits for the
+//             next interval:   E = (1 - 1/r) * (1/r)  +  (1/r) * (1/(2r) + 1/r)
+//   interval: first interval's count suffices iff phi <= W(1 - 1/r), and the
+//             report only arrives at the boundary: E = 1/2 + 1/r
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace memento::detection {
+
+/// Expected detection delay of each method, in units of windows.
+struct delays {
+  double window = 0.0;
+  double improved_interval = 0.0;
+  double interval = 0.0;
+};
+
+/// Closed-form expectations for a new flow at `ratio` = p / theta >= 1.
+[[nodiscard]] inline delays expected_delays(double ratio) {
+  if (ratio < 1.0) throw std::invalid_argument("detection: ratio must be >= 1");
+  const double inv = 1.0 / ratio;
+  delays d;
+  d.window = inv;
+  d.improved_interval = (1.0 - inv) * inv + inv * (inv / 2.0 + inv);
+  d.interval = 0.5 + inv;
+  return d;
+}
+
+/// Packet-level Monte-Carlo: replays the scenario with exact counters.
+///
+/// Each trial draws a random interval phase, then streams packets; each
+/// packet belongs to the new flow with probability p = ratio * theta and to
+/// unique background flows otherwise. Detection indices are averaged over
+/// trials and reported in windows.
+///
+/// @param ratio   p / theta (>= 1).
+/// @param theta   the heavy-hitter threshold (fraction of W).
+/// @param window  W in packets.
+/// @param trials  Monte-Carlo repetitions.
+[[nodiscard]] inline delays simulate_delays(double ratio, double theta, std::uint64_t window,
+                                            std::size_t trials, std::uint64_t seed = 99) {
+  if (ratio < 1.0) throw std::invalid_argument("detection: ratio must be >= 1");
+  if (theta <= 0.0 || ratio * theta > 1.0) {
+    throw std::invalid_argument("detection: need 0 < ratio * theta <= 1");
+  }
+  xoshiro256 rng(seed);
+  const double p = ratio * theta;
+  const auto bar = static_cast<std::uint64_t>(theta * static_cast<double>(window));
+
+  double sum_window = 0.0;
+  double sum_improved = 0.0;
+  double sum_interval = 0.0;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Phase: packets already elapsed in the current interval when the flow
+    // starts. The window method is phase-independent; the interval methods
+    // are driven by it.
+    const std::uint64_t phase = rng.bounded(window);
+
+    std::uint64_t flow_in_window = 0;    // exact sliding count (flow only)
+    std::uint64_t flow_in_interval = 0;  // exact count since interval start
+    std::uint64_t detect_window = 0;
+    std::uint64_t detect_improved = 0;
+    std::uint64_t detect_interval = 0;
+
+    // The flow's arrivals within the window form a queue of timestamps; with
+    // p constant we only need the count (arrivals expire after W packets).
+    // Track expiry with a compact ring of booleans.
+    std::vector<bool> is_flow(window, false);
+    std::size_t ring_pos = 0;
+
+    const std::uint64_t horizon = 4 * window + (window - phase);
+    for (std::uint64_t i = 0; i < horizon; ++i) {
+      const bool flow_packet = rng.uniform01() < p;
+      // Sliding window bookkeeping.
+      if (is_flow[ring_pos]) --flow_in_window;
+      is_flow[ring_pos] = flow_packet;
+      ring_pos = ring_pos + 1 == window ? 0 : ring_pos + 1;
+      if (flow_packet) ++flow_in_window;
+      // Interval bookkeeping: a boundary occurs when (phase + i) % W == 0.
+      if ((phase + i) % window == 0 && i > 0) {
+        if (detect_interval == 0 && flow_in_interval >= bar) detect_interval = i;
+        flow_in_interval = 0;
+      }
+      if (flow_packet) ++flow_in_interval;
+
+      if (detect_window == 0 && flow_in_window >= bar) detect_window = i + 1;
+      if (detect_improved == 0 && flow_in_interval >= bar) detect_improved = i + 1;
+      if (detect_window && detect_improved && detect_interval) break;
+    }
+    // An undetected method (possible only for `interval` when the horizon is
+    // short) is charged the full horizon - conservative and rare.
+    if (detect_interval == 0) detect_interval = horizon;
+    if (detect_improved == 0) detect_improved = horizon;
+    if (detect_window == 0) detect_window = horizon;
+
+    const double w = static_cast<double>(window);
+    sum_window += static_cast<double>(detect_window) / w;
+    sum_improved += static_cast<double>(detect_improved) / w;
+    sum_interval += static_cast<double>(detect_interval) / w;
+  }
+
+  const double n = static_cast<double>(trials);
+  return {sum_window / n, sum_improved / n, sum_interval / n};
+}
+
+}  // namespace memento::detection

@@ -1,0 +1,149 @@
+// H-Memento (Algorithm 2): hierarchical heavy hitters on a sliding window in
+// constant time per packet.
+//
+// Unlike MST/RHHH's lattice of H separate HH instances, H-Memento keeps a
+// SINGLE large Memento instance and feeds it sampled *prefixes*: with
+// probability tau the packet triggers a Full update of one uniformly chosen
+// generalization (Figure 2b), otherwise only the shared window clock
+// advances. Every prefix is therefore sampled with probability tau / H - the
+// paper's V = H / tau balls-and-bins model - and one sliding window measures
+// all subnets at once, which is what makes sliding-window HHH practical
+// (Section 4.2: "engineering benefits such as code reuse, simplicity, and
+// maintainability").
+//
+// Output (Algorithm 2 lines 3-10) walks the lattice bottom-up computing
+// conditioned frequencies via calcPred (Algorithm 3 in 1D, Algorithm 4 with
+// glb inclusion-exclusion in 2D) and compensates the sampling error with
+// + 2 Z_{1-delta} sqrt(V W) (line 8). Correct for any
+// tau >= Z_{1-delta/2} H W^-1 eps_s^-2 (Theorem 5.3).
+//
+// Template parameter H supplies the hierarchy (source_hierarchy with H = 5,
+// two_dim_hierarchy with H = 25, or any user-defined traits with the same
+// shape).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/memento.hpp"
+#include "hierarchy/hhh_solver.hpp"
+#include "util/normal.hpp"
+#include "util/random.hpp"
+
+namespace memento {
+
+/// Construction parameters for `h_memento`.
+struct h_memento_config {
+  std::uint64_t window_size = 1 << 20;  ///< W, in packets
+  std::size_t counters = 512 * 5;       ///< total counters of the single Memento instance
+  double tau = 1.0;   ///< overall Full-update probability (per-prefix rate tau / H)
+  double delta = 1e-3;///< confidence for the sampling compensation (Alg. 2 line 8)
+  std::uint64_t seed = 1;
+};
+
+template <typename H>
+class h_memento {
+ public:
+  using key_type = typename H::key_type;
+  using hhh_result = std::vector<hhh_entry<key_type>>;
+
+  explicit h_memento(const h_memento_config& config)
+      : inner_(memento_config{config.window_size, config.counters, config.tau, config.seed}),
+        sampler_(config.tau, 1u << 16, config.seed ^ 0x9e3779b97f4a7c15ULL),
+        rng_(config.seed + 1),
+        delta_(config.delta) {
+    if (config.delta <= 0.0 || config.delta >= 1.0) {
+      throw std::invalid_argument("h_memento: delta must be in (0, 1)");
+    }
+  }
+
+  h_memento(std::uint64_t window_size, std::size_t counters, double tau, double delta = 1e-3,
+            std::uint64_t seed = 1)
+      : h_memento(h_memento_config{window_size, counters, tau, delta, seed}) {}
+
+  /// Algorithm 2 UPDATE: with probability tau, Full-update one uniformly
+  /// random generalization of the packet; otherwise a Window update. O(1).
+  void update(const packet& p) {
+    if (sampler_.sample()) {
+      full_update(p);
+    } else {
+      inner_.window_update();
+    }
+  }
+
+  /// Forced Full update (the sampling decision was made elsewhere, e.g. by a
+  /// D-H-Memento measurement point): inserts one random generalization.
+  void full_update(const packet& p) {
+    const auto i = static_cast<std::size_t>(rng_.bounded(H::hierarchy_size));
+    inner_.full_update(H::key_at(p, i));
+  }
+
+  /// Forced Window update (unsampled packet replayed by the controller).
+  void window_update() { inner_.window_update(); }
+
+  /// One-sided (never undercounting) window-frequency estimate of a prefix,
+  /// in packets: H * inner estimate, since each prefix is sampled at rate
+  /// tau / H while the inner query rescales by tau^-1 only.
+  [[nodiscard]] double query(const key_type& prefix) const {
+    return static_cast<double>(H::hierarchy_size) * inner_.query(prefix);
+  }
+
+  /// Matching lower bound (upper minus the worst-case estimate width).
+  [[nodiscard]] double query_lower(const key_type& prefix) const {
+    return static_cast<double>(H::hierarchy_size) * inner_.query_lower(prefix);
+  }
+
+  /// Near-unbiased point estimate (see memento_sketch::query_midpoint).
+  [[nodiscard]] double query_midpoint(const key_type& prefix) const {
+    return static_cast<double>(H::hierarchy_size) * inner_.query_midpoint(prefix);
+  }
+
+  /// Algorithm 2 OUTPUT: the approximate window HHH set at threshold theta,
+  /// with the paper's full sampling compensation (guarantees coverage but is
+  /// deliberately loose - Definition 4.2 allows false positives).
+  [[nodiscard]] hhh_result output(double theta) const {
+    return output(theta, sampling_compensation());
+  }
+
+  /// OUTPUT with an explicit compensation term. Benches that compare
+  /// *estimates* across algorithms symmetrically (e.g. the flood-detection
+  /// rate-limiter of Section 6.3, which thresholds window frequency directly)
+  /// pass 0 here.
+  [[nodiscard]] hhh_result output(double theta, double compensation) const {
+    const double threshold = theta * static_cast<double>(inner_.window_size());
+    return solve_hhh<H>(
+        inner_.monitored_keys(),
+        [this](const key_type& k) {
+          return freq_bounds{query(k), query_lower(k)};
+        },
+        threshold, compensation);
+  }
+
+  /// The Alg. 2 line 8 term: 2 Z_{1-delta} sqrt(V W), V = H / tau.
+  [[nodiscard]] double sampling_compensation() const {
+    const double v = sampling_ratio();
+    return 2.0 * z_value(1.0 - delta_) *
+           std::sqrt(v * static_cast<double>(inner_.window_size()));
+  }
+
+  /// V = H / tau: the expected packets per sampled prefix (Table 1).
+  [[nodiscard]] double sampling_ratio() const noexcept {
+    return static_cast<double>(H::hierarchy_size) / inner_.tau();
+  }
+
+  [[nodiscard]] std::uint64_t window_size() const noexcept { return inner_.window_size(); }
+  [[nodiscard]] double tau() const noexcept { return inner_.tau(); }
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+  [[nodiscard]] std::uint64_t stream_length() const noexcept { return inner_.stream_length(); }
+  [[nodiscard]] const memento_sketch<key_type>& inner() const noexcept { return inner_; }
+
+ private:
+  memento_sketch<key_type> inner_;
+  random_table_sampler sampler_;
+  xoshiro256 rng_;
+  double delta_;
+};
+
+}  // namespace memento

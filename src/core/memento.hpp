@@ -1,0 +1,302 @@
+// Memento (Algorithm 1): sliding-window heavy hitters with sampled Full
+// updates and O(1) worst-case processing.
+//
+// The key idea (Section 4.1): decouple the expensive *Full update* (count the
+// packet in the Space-Saving instance, record overflows) from the cheap
+// *Window update* (advance the window clock and forget outdated data). Each
+// packet triggers a Full update with probability tau and only a Window update
+// otherwise, so Memento maintains a genuine W-packet window - avoiding the
+// +-Theta(sqrt(W(1-tau)/tau)) reference-window error of naive uniform
+// sampling - while paying the full data-structure cost on a tau fraction of
+// packets. With tau = 1 Memento *is* WCSS [10].
+//
+// Structure (frames and blocks):
+//   * the stream is cut into frames of W packets; each frame into k blocks;
+//   * a Space-Saving instance `y` (k counters) approximately counts, within
+//     the current frame, how often each item was *sampled*; it is flushed at
+//     every frame boundary;
+//   * every time an item's in-frame sampled count crosses a multiple of the
+//     overflow threshold, the item is appended to the current block's queue
+//     and its entry in the overflow table B is incremented;
+//   * a ring of k+1 block queues covers the window; one queued item is
+//     retired per packet (de-amortized, Algorithm 1 lines 8-11), so the
+//     oldest queue is provably empty when its block expires.
+//
+// Overflow-threshold scaling: Algorithm 1 prints the threshold as W/k, which
+// is exact for tau = 1. Under sampling, `y` counts *sampled* packets - about
+// tau*W per frame - so the threshold must live in sampled units:
+// T = max(1, round(W*tau/k)). Each overflow then still represents W/k
+// *original* packets (T * tau^-1), which is what keeps the algorithm-side
+// error epsilon_a = 4/k independent of tau, as required by Theorem 5.2 and
+// matched by the flat error curves of Fig. 5. See DESIGN.md ("Design
+// decisions"), item 3/4.
+//
+// Query (Algorithm 1 lines 22-25) returns a ONE-SIDED (over-)estimate:
+// tau^-1 * (T*(B[x]+2) + (y.query(x) mod T)); the +2 blocks of slack absorb
+// both the de-amortized retirement fuzz and the in-frame residue, mirroring
+// MST's one-sided error. `query_lower` exposes the matching lower bound
+// (upper minus the 4*T*tau^-1 worst-case width).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/space_saving.hpp"
+#include "util/random.hpp"
+
+namespace memento {
+
+/// Construction parameters for `memento_sketch`.
+struct memento_config {
+  std::uint64_t window_size = 1 << 20;  ///< W, in packets
+  std::size_t counters = 512;           ///< k: Space-Saving counters == blocks per frame
+  double tau = 1.0;                     ///< Full-update probability; 1.0 == WCSS
+  std::uint64_t seed = 1;               ///< sampler determinism handle
+
+  /// The paper's parameterization k = ceil(4 / epsilon_a) (Section 4.1).
+  [[nodiscard]] static memento_config from_epsilon(std::uint64_t window, double epsilon_a,
+                                                   double tau = 1.0, std::uint64_t seed = 1) {
+    memento_config c;
+    c.window_size = window;
+    c.counters = static_cast<std::size_t>(std::ceil(4.0 / epsilon_a));
+    c.tau = tau;
+    c.seed = seed;
+    return c;
+  }
+};
+
+template <typename Key = std::uint64_t>
+class memento_sketch {
+ public:
+  /// A reported heavy hitter with its (one-sided) window-frequency estimate.
+  struct heavy_hitter {
+    Key key{};
+    double estimate = 0.0;
+  };
+
+  explicit memento_sketch(const memento_config& config)
+      : y_(config.counters > 0 ? config.counters : 1),
+        sampler_(config.tau, 1u << 16, config.seed),
+        tau_(std::clamp(config.tau, 0.0, 1.0)),
+        inv_tau_(tau_ > 0.0 ? 1.0 / tau_ : 0.0),
+        k_(config.counters > 0 ? config.counters : 1) {
+    if (config.window_size == 0) throw std::invalid_argument("memento: W must be >= 1");
+    if (config.counters == 0) throw std::invalid_argument("memento: counters must be >= 1");
+    if (config.tau <= 0.0 || config.tau > 1.0) {
+      throw std::invalid_argument("memento: tau must be in (0, 1]");
+    }
+    // Round the block length up so k * block >= W; the effective frame is
+    // k * block packets (>= W, < W + k). All guarantees hold for the rounded
+    // window, which `window_size()` reports.
+    block_len_ = (config.window_size + k_ - 1) / k_;
+    if (block_len_ == 0) block_len_ = 1;
+    frame_len_ = block_len_ * k_;
+    // Overflow threshold in *sampled* units (see file comment).
+    threshold_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(static_cast<double>(frame_len_) * tau_ / static_cast<double>(k_))));
+    blocks_.resize(k_ + 1);
+    overflows_.reserve(4 * k_);
+  }
+
+  memento_sketch(std::uint64_t window_size, std::size_t counters, double tau = 1.0,
+                 std::uint64_t seed = 1)
+      : memento_sketch(memento_config{window_size, counters, tau, seed}) {}
+
+  /// Algorithm 1 UPDATE: Full update with probability tau, else Window update.
+  void update(const Key& x) {
+    if (sampler_.sample()) {
+      full_update(x);
+    } else {
+      window_update();
+    }
+  }
+
+  /// Algorithm 1 WINDOWUPDATE: advance the clock, expire frame/block state,
+  /// retire (at most) one queued overflow of the oldest block. O(1).
+  void window_update() {
+    ++stream_length_;
+    ++clock_;
+    if (clock_ == frame_len_) {  // new frame (M = 0)
+      clock_ = 0;
+      y_.flush();
+    }
+    if (clock_ % block_len_ == 0) rotate_blocks();
+    retire_one();
+  }
+
+  /// Algorithm 1 FULLUPDATE: a Window update plus counting x in y and
+  /// recording an overflow whenever x's in-frame sampled count crosses a
+  /// multiple of the threshold. O(1).
+  void full_update(const Key& x) {
+    window_update();
+    y_.add(x);
+    if (y_.query(x) % threshold_ == 0) {  // overflow (Algorithm 1 line 15)
+      blocks_[head_].items.push_back(x);
+      ++overflows_[x];
+    }
+  }
+
+  /// Algorithm 1 QUERY: one-sided (never undercounting) window-frequency
+  /// estimate of x, already scaled to original-packet units.
+  [[nodiscard]] double query(const Key& x) const {
+    const double residue = static_cast<double>(y_.query(x) % threshold_);
+    const double t = static_cast<double>(threshold_);
+    if (const auto it = overflows_.find(x); it != overflows_.end()) {
+      return inv_tau_ * (t * static_cast<double>(it->second + 2) + residue);
+    }
+    return inv_tau_ * (2.0 * t + residue);  // no overflows (line 25)
+  }
+
+  /// Lower bound companion to query(): the estimate minus the worst-case
+  /// width 4*T*tau^-1 (= epsilon_a * W for k = 4/epsilon_a), floored at 0.
+  [[nodiscard]] double query_lower(const Key& x) const {
+    return std::max(0.0, query(x) - estimate_width());
+  }
+
+  /// Midpoint of the [lower, upper] interval: a near-unbiased point estimate
+  /// for threshold applications (e.g. rate-limit triggers) where the
+  /// one-sided upper bound would systematically fire early.
+  [[nodiscard]] double query_midpoint(const Key& x) const {
+    return std::max(0.0, query(x) - 0.5 * estimate_width());
+  }
+
+  /// Worst-case width of the [lower, upper] estimate interval, in packets.
+  [[nodiscard]] double estimate_width() const noexcept {
+    return 4.0 * static_cast<double>(threshold_) * inv_tau_;
+  }
+
+  /// All window heavy hitters at threshold theta (fraction of W): flows whose
+  /// one-sided estimate reaches theta * W. Guaranteed to contain every true
+  /// window heavy hitter (every such flow overflows within the window).
+  [[nodiscard]] std::vector<heavy_hitter> heavy_hitters(double theta) const {
+    std::vector<heavy_hitter> out;
+    const double bar = theta * static_cast<double>(frame_len_);
+    for (const auto& [key, count] : overflows_) {
+      (void)count;
+      const double est = query(key);
+      if (est >= bar) out.push_back({key, est});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const heavy_hitter& a, const heavy_hitter& b) { return a.estimate > b.estimate; });
+    return out;
+  }
+
+  /// The k flows with the largest window estimates (ties broken
+  /// arbitrarily). Candidates are the overflow-table entries - exactly the
+  /// flows that accumulated at least one block within the window - so a
+  /// flow needs roughly W/counters packets to be rankable, the same
+  /// resolution as the estimates themselves.
+  [[nodiscard]] std::vector<heavy_hitter> top(std::size_t k) const {
+    std::vector<heavy_hitter> all;
+    all.reserve(overflows_.size());
+    for (const auto& [key, count] : overflows_) {
+      (void)count;
+      all.push_back({key, query(key)});
+    }
+    const std::size_t keep = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(keep),
+                      all.end(), [](const heavy_hitter& a, const heavy_hitter& b) {
+                        return a.estimate > b.estimate;
+                      });
+    all.resize(keep);
+    return all;
+  }
+
+  /// Keys with any live state (overflow entries plus in-frame counters);
+  /// the candidate set for hierarchical output (Algorithm 2 line 6).
+  [[nodiscard]] std::vector<Key> monitored_keys() const {
+    std::vector<Key> keys;
+    keys.reserve(overflows_.size() + y_.size());
+    for (const auto& [key, count] : overflows_) {
+      (void)count;
+      keys.push_back(key);
+    }
+    y_.for_each([&](const Key& key, std::uint64_t, std::uint64_t) {
+      if (overflows_.find(key) == overflows_.end()) keys.push_back(key);
+    });
+    return keys;
+  }
+
+  // --- introspection ------------------------------------------------------
+
+  /// Effective window size (W rounded up to a multiple of k; see ctor).
+  [[nodiscard]] std::uint64_t window_size() const noexcept { return frame_len_; }
+  [[nodiscard]] std::uint64_t block_length() const noexcept { return block_len_; }
+  [[nodiscard]] std::uint64_t overflow_threshold() const noexcept { return threshold_; }
+  [[nodiscard]] std::size_t counters() const noexcept { return k_; }
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+  /// Packets processed (window + full updates both advance the stream).
+  [[nodiscard]] std::uint64_t stream_length() const noexcept { return stream_length_; }
+  /// Live entries in the overflow table B.
+  [[nodiscard]] std::size_t overflow_entries() const noexcept { return overflows_.size(); }
+  /// Defensive-drain events (should stay 0; asserted in tests).
+  [[nodiscard]] std::uint64_t forced_drains() const noexcept { return forced_drains_; }
+
+ private:
+  /// FIFO queue of one block's overflow events. Retirement consumes from
+  /// `next`, appends go to the back; storage is recycled on block reuse.
+  struct block_queue {
+    std::vector<Key> items;
+    std::size_t next = 0;
+
+    [[nodiscard]] bool empty() const noexcept { return next >= items.size(); }
+    void clear() noexcept {
+      items.clear();
+      next = 0;
+    }
+  };
+
+  /// Ends the current block: the oldest queue leaves the window and a fresh
+  /// one becomes current (Algorithm 1 lines 5-7).
+  void rotate_blocks() {
+    head_ = head_ + 1 == blocks_.size() ? 0 : head_ + 1;
+    // The slot we are claiming held the expired oldest queue. De-amortized
+    // retirement guarantees it is already empty; drain defensively if not so
+    // the overflow table can never leak (counted for the tests).
+    block_queue& reused = blocks_[head_];
+    while (!reused.empty()) {
+      ++forced_drains_;
+      drop_oldest(reused);
+    }
+    reused.clear();
+  }
+
+  /// Retires at most one overflow of the oldest block (lines 8-11).
+  void retire_one() {
+    block_queue& tail = blocks_[tail_index()];
+    if (!tail.empty()) drop_oldest(tail);
+  }
+
+  void drop_oldest(block_queue& q) {
+    const Key& old_id = q.items[q.next++];
+    const auto it = overflows_.find(old_id);
+    if (it != overflows_.end() && --(it->second) == 0) overflows_.erase(it);
+  }
+
+  /// Oldest live block: the slot after head in the (k+1)-ring.
+  [[nodiscard]] std::size_t tail_index() const noexcept {
+    return head_ + 1 == blocks_.size() ? 0 : head_ + 1;
+  }
+
+  space_saving<Key> y_;                              ///< in-frame sampled counts
+  random_table_sampler sampler_;                     ///< Bernoulli(tau) decisions
+  std::unordered_map<Key, std::uint32_t> overflows_; ///< the table B
+  std::vector<block_queue> blocks_;                  ///< the queue-of-queues b (k+1 ring)
+  std::size_t head_ = 0;                             ///< current block slot
+  double tau_;
+  double inv_tau_;
+  std::size_t k_;
+  std::uint64_t block_len_ = 1;
+  std::uint64_t frame_len_ = 1;
+  std::uint64_t threshold_ = 1;
+  std::uint64_t clock_ = 0;          ///< M: position within the frame
+  std::uint64_t stream_length_ = 0;
+  std::uint64_t forced_drains_ = 0;
+};
+
+}  // namespace memento

@@ -1,0 +1,86 @@
+// MST [Mitzenmacher, Steinke & Thaler, ALENEX 2012]: the interval HHH
+// baseline (Section 2 / Section 7).
+//
+// One Space-Saving instance per prefix pattern; every packet performs H
+// updates - one per generalization - so the update cost is O(H) and the
+// answer reflects the interval since the last reset. This is the "Interval"
+// series of Fig. 8 and the conceptual parent of both the Baseline window
+// algorithm (swap SS for WCSS, see baseline_window_mst.hpp) and RHHH (sample
+// one of the H updates, see rhhh.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/hhh_solver.hpp"
+#include "sketch/space_saving.hpp"
+#include "trace/packet.hpp"
+
+namespace memento {
+
+template <typename H>
+class mst {
+ public:
+  using key_type = typename H::key_type;
+  using hhh_result = std::vector<hhh_entry<key_type>>;
+
+  /// @param counters_per_instance Space-Saving counters in each of the H
+  ///        instances (the paper's 1/epsilon_a per instance).
+  explicit mst(std::size_t counters_per_instance) {
+    instances_.reserve(H::hierarchy_size);
+    for (std::size_t i = 0; i < H::hierarchy_size; ++i) {
+      instances_.emplace_back(counters_per_instance);
+    }
+  }
+
+  /// O(H): updates every generalization of the packet.
+  void update(const packet& p) {
+    for (std::size_t i = 0; i < H::hierarchy_size; ++i) {
+      instances_[i].add(H::key_at(p, i));
+    }
+    ++stream_length_;
+  }
+
+  /// One-sided upper estimate of a prefix's interval frequency.
+  [[nodiscard]] double query(const key_type& prefix) const {
+    return static_cast<double>(instances_[H::pattern_index(prefix)].query(prefix));
+  }
+
+  [[nodiscard]] double query_lower(const key_type& prefix) const {
+    return static_cast<double>(instances_[H::pattern_index(prefix)].query_lower(prefix));
+  }
+
+  /// The approximate interval HHH set at threshold theta (fraction of N).
+  [[nodiscard]] hhh_result output(double theta) const {
+    std::vector<key_type> candidates;
+    for (const auto& inst : instances_) {
+      inst.for_each([&](const key_type& k, std::uint64_t, std::uint64_t) {
+        candidates.push_back(k);
+      });
+    }
+    const double threshold = theta * static_cast<double>(stream_length_);
+    return solve_hhh<H>(
+        std::move(candidates),
+        [this](const key_type& k) {
+          return freq_bounds{query(k), query_lower(k)};
+        },
+        threshold, /*compensation=*/0.0);
+  }
+
+  /// Ends the measurement period (the Interval method's periodic reset).
+  void reset() {
+    for (auto& inst : instances_) inst.flush();
+    stream_length_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t stream_length() const noexcept { return stream_length_; }
+  [[nodiscard]] std::size_t counters_per_instance() const noexcept {
+    return instances_.front().capacity();
+  }
+
+ private:
+  std::vector<space_saving<key_type>> instances_;
+  std::uint64_t stream_length_ = 0;
+};
+
+}  // namespace memento

@@ -1,0 +1,25 @@
+// WCSS [Ben-Basat et al., INFOCOM 2016]: Window Compact Space Saving.
+//
+// The paper's single-device HH baseline. Section 6.1: "For WCSS we use our
+// Memento implementation without sampling (tau = 1)" - with tau = 1 every
+// packet takes the Full-update path and Algorithm 1 degenerates to WCSS
+// exactly (frames, blocks, overflow queues and the one-sided query are the
+// WCSS machinery; sampling is Memento's only addition). We ship the same
+// equivalence as a transparent alias plus a factory, so benchmarks read
+// `wcss` where the paper says WCSS while sharing one tested implementation.
+#pragma once
+
+#include "core/memento.hpp"
+
+namespace memento {
+
+template <typename Key = std::uint64_t>
+using wcss = memento_sketch<Key>;
+
+/// Builds a WCSS instance: Memento with tau pinned to 1.
+template <typename Key = std::uint64_t>
+[[nodiscard]] wcss<Key> make_wcss(std::uint64_t window_size, std::size_t counters) {
+  return wcss<Key>(memento_config{window_size, counters, /*tau=*/1.0, /*seed=*/1});
+}
+
+}  // namespace memento

@@ -1,0 +1,146 @@
+// Generic HHH-set computation: the lattice logic of Algorithms 2, 3 and 4.
+//
+// Every HHH algorithm in the paper - H-Memento, MST, RHHH, and the exact
+// ground truth - shares the same output procedure: walk the prefix lattice
+// bottom-up (fully specified first), compute each candidate's *conditioned*
+// frequency with respect to the already-selected set, and admit it when that
+// exceeds the threshold. The algorithms differ only in
+//   (a) where candidate prefixes and their frequency bounds come from, and
+//   (b) the additive sampling-compensation term (Alg. 2 line 8: 2 Z sqrt(VW)
+//       for H-Memento, the analogous term for RHHH, zero for MST/exact).
+// Centralizing the walk here means the subtle parts - G(q|P) maximality and
+// the 2D inclusion-exclusion with glb guards - are implemented and tested
+// once.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hierarchy/prefix1d.hpp"
+#include "hierarchy/prefix2d.hpp"
+
+namespace memento {
+
+/// Upper/lower bounds on a prefix's (window or interval) frequency.
+struct freq_bounds {
+  double upper = 0.0;  ///< f-hat-plus: never undercounts
+  double lower = 0.0;  ///< f-hat-minus: never overcounts
+};
+
+/// One admitted HHH prefix with the estimate that admitted it.
+template <typename Key>
+struct hhh_entry {
+  Key key{};
+  double conditioned_frequency = 0.0;  ///< C_{q|P} at admission time
+  double upper_estimate = 0.0;         ///< f-hat-plus of the prefix itself
+};
+
+/// Computes G(q|P) per Section 4.2: the subset of P strictly generalized by
+/// q, keeping only maximal elements (no other member of P strictly between).
+template <typename H>
+[[nodiscard]] std::vector<typename H::key_type> closest_descendants(
+    const typename H::key_type& q, const std::vector<typename H::key_type>& selected) {
+  using key_type = typename H::key_type;
+  std::vector<key_type> inside;
+  for (const auto& h : selected) {
+    if (H::strictly_generalizes(q, h)) inside.push_back(h);
+  }
+  std::vector<key_type> maximal;
+  for (const auto& h : inside) {
+    const bool dominated = std::any_of(inside.begin(), inside.end(), [&](const key_type& m) {
+      return !(m == h) && H::strictly_generalizes(m, h);
+    });
+    if (!dominated) maximal.push_back(h);
+  }
+  return maximal;
+}
+
+/// calcPred for one dimension (Algorithm 3): subtract the lower-bound
+/// frequency of every closest selected descendant.
+template <typename H>
+[[nodiscard]] double calc_pred_1d(const std::vector<typename H::key_type>& g,
+                                  const std::function<freq_bounds(const typename H::key_type&)>& bounds) {
+  double r = 0.0;
+  for (const auto& h : g) r -= bounds(h).lower;
+  return r;
+}
+
+/// calcPred for two dimensions (Algorithm 4): subtract descendants, then add
+/// back each pairwise glb (inclusion-exclusion) unless the glb generalizes a
+/// third member of G(q|P) - in which case that mass is already accounted for.
+template <typename H>
+[[nodiscard]] double calc_pred_2d(const std::vector<typename H::key_type>& g,
+                                  const std::function<freq_bounds(const typename H::key_type&)>& bounds) {
+  double r = 0.0;
+  for (const auto& h : g) r -= bounds(h).lower;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (std::size_t j = i + 1; j < g.size(); ++j) {
+      const auto common = prefix2::glb(g[i], g[j]);
+      if (!common) continue;
+      const bool covered_by_third =
+          std::any_of(g.begin(), g.end(), [&](const prefix2d& h3) {
+            return !(h3 == g[i]) && !(h3 == g[j]) && prefix2::generalizes(*common, h3);
+          });
+      if (!covered_by_third) r += bounds(*common).upper;
+    }
+  }
+  return r;
+}
+
+/// Full HHH output walk (Algorithm 2 lines 3-10).
+///
+/// @param candidates    all monitored prefixes (any order, duplicates allowed).
+/// @param bounds        frequency-bound oracle; also queried for glb prefixes
+///                      that may not be monitored (return {0, 0} slack there).
+/// @param threshold     admission threshold in packets (theta * W or theta * N).
+/// @param compensation  additive slack on the conditioned frequency
+///                      (Alg. 2 line 8); zero for deterministic algorithms.
+template <typename H>
+[[nodiscard]] std::vector<hhh_entry<typename H::key_type>> solve_hhh(
+    std::vector<typename H::key_type> candidates,
+    const std::function<freq_bounds(const typename H::key_type&)>& bounds,
+    double threshold, double compensation) {
+  using key_type = typename H::key_type;
+
+  // Group by level; drop duplicates so a prefix is considered once.
+  std::vector<std::vector<key_type>> by_level(H::num_levels);
+  for (const auto& k : candidates) by_level[H::depth(k)].push_back(k);
+
+  std::vector<key_type> selected;
+  std::vector<hhh_entry<key_type>> result;
+
+  for (auto& level : by_level) {
+    std::sort(level.begin(), level.end(), [](const key_type& a, const key_type& b) {
+      if constexpr (std::is_same_v<key_type, prefix2d>) {
+        return std::tie(a.src, a.dst, a.src_depth, a.dst_depth) <
+               std::tie(b.src, b.dst, b.src_depth, b.dst_depth);
+      } else {
+        return a < b;
+      }
+    });
+    level.erase(std::unique(level.begin(), level.end()), level.end());
+
+    // Admissions within a level are relative to lower levels only: P is the
+    // set selected at strictly lower levels plus earlier same-level picks,
+    // exactly as the sequential loop of Algorithm 2 produces it.
+    for (const auto& q : level) {
+      const auto g = closest_descendants<H>(q, selected);
+      double conditioned = bounds(q).upper;
+      if constexpr (H::two_dimensional) {
+        conditioned += calc_pred_2d<H>(g, bounds);
+      } else {
+        conditioned += calc_pred_1d<H>(g, bounds);
+      }
+      conditioned += compensation;
+      if (conditioned >= threshold) {
+        selected.push_back(q);
+        result.push_back({q, conditioned, bounds(q).upper});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace memento

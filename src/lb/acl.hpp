@@ -1,0 +1,60 @@
+// Access-control list with subnet-granularity actions.
+//
+// Reproduces the capability the paper added to HAProxy 1.8.1: "we leveraged
+// and extended HAProxy's Access Control List (ACL) capabilities ... to
+// perform mitigation (i.e., Deny or Tarpit) when an attacker is identified"
+// - at the granularity of entire subnets rather than individual flows.
+//
+// Rules are keyed by the 5 byte-granularity generalizations of the client
+// address, so a lookup is at most 5 hash probes (O(1)); the most specific
+// matching rule wins, mirroring ACL precedence.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hierarchy/prefix1d.hpp"
+
+namespace memento::lb {
+
+enum class acl_action : std::uint8_t {
+  allow,   ///< default: forward to a backend
+  deny,    ///< drop immediately (HAProxy "deny")
+  tarpit,  ///< hold then reject, punishing the client (HAProxy "tarpit")
+};
+
+class acl {
+ public:
+  /// Installs (or overwrites) a rule for a subnet. `depth` follows the 1D
+  /// hierarchy convention: 0 = /32 single host ... 4 = /0 catch-all.
+  void set_rule(std::uint32_t addr, std::size_t depth, acl_action action) {
+    rules_[prefix1d::make_key(addr, depth)] = action;
+  }
+
+  /// Installs a rule from an already-encoded prefix key.
+  void set_rule(std::uint64_t prefix_key, acl_action action) {
+    rules_[prefix_key] = action;
+  }
+
+  void clear_rule(std::uint32_t addr, std::size_t depth) {
+    rules_.erase(prefix1d::make_key(addr, depth));
+  }
+
+  void clear() { rules_.clear(); }
+
+  /// The action for a client address: most specific matching rule, or allow.
+  [[nodiscard]] acl_action lookup(std::uint32_t client) const {
+    for (std::size_t depth = 0; depth < prefix1d::kNumLevels; ++depth) {
+      const auto it = rules_.find(prefix1d::make_key(client, depth));
+      if (it != rules_.end()) return it->second;
+    }
+    return acl_action::allow;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, acl_action> rules_;
+};
+
+}  // namespace memento::lb

@@ -1,0 +1,32 @@
+// Minimal HTTP request model for the load-balancer tier.
+//
+// The paper's testbed drives HAProxy with stateful HTTP GET/POST requests
+// from many source IPs (Section 6.3, "Traffic generation"). The measurement
+// algorithms only ever see the source (and destination) address, so the
+// request model keeps just enough structure for the load balancer to be a
+// believable substrate: a packet identity, a method, and a path hash for
+// backend affinity experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/packet.hpp"
+
+namespace memento::lb {
+
+enum class http_method : std::uint8_t { get, post };
+
+struct http_request {
+  packet pkt{};                          ///< (client addr, virtual-ip) pair
+  http_method method = http_method::get;
+  std::uint32_t path_hash = 0;           ///< stable hash of the request path
+
+  [[nodiscard]] std::uint32_t client() const noexcept { return pkt.src; }
+};
+
+/// Builds a request from a trace packet (GET, path derived from dst).
+[[nodiscard]] inline http_request request_from_packet(const packet& p) noexcept {
+  return {p, http_method::get, p.dst * 0x9e3779b9u};
+}
+
+}  // namespace memento::lb

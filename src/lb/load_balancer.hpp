@@ -1,0 +1,84 @@
+// A single load-balancer instance: ACL enforcement, backend selection, and a
+// measurement hook - the HAProxy-process substitute of the Section 6.3
+// testbed ("ten autonomous instances of HAProxy load-balancers").
+//
+// Processing order mirrors HAProxy's request path: the measurement hook sees
+// every INGRESS request (mitigation does not blind the measurement - blocked
+// attack traffic must keep contributing to the HHH view or the window would
+// "forget" an ongoing attack), then the ACL verdict is enforced, then an
+// allowed request is round-robined to a backend.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "lb/acl.hpp"
+#include "lb/http.hpp"
+
+namespace memento::lb {
+
+enum class verdict : std::uint8_t { forwarded, denied, tarpitted };
+
+struct lb_stats {
+  std::uint64_t received = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t tarpitted = 0;
+};
+
+class load_balancer {
+ public:
+  /// Hook invoked on every ingress request (feeds a measurement point).
+  using measurement_hook = std::function<void(const http_request&)>;
+
+  /// @param id       instance id (stable across the cluster).
+  /// @param backends number of Apache-substitute backends (>= 1).
+  load_balancer(std::uint32_t id, std::size_t backends)
+      : backend_served_(backends, 0), id_(id) {
+    if (backends == 0) throw std::invalid_argument("load_balancer: need >= 1 backend");
+  }
+
+  void set_measurement_hook(measurement_hook hook) { hook_ = std::move(hook); }
+
+  /// ACL table, exposed for the controller's mitigation push-downs.
+  [[nodiscard]] acl& access_list() noexcept { return acl_; }
+  [[nodiscard]] const acl& access_list() const noexcept { return acl_; }
+
+  /// Processes one request: measure, enforce, forward.
+  verdict process(const http_request& request) {
+    ++stats_.received;
+    if (hook_) hook_(request);
+
+    switch (acl_.lookup(request.client())) {
+      case acl_action::deny:
+        ++stats_.denied;
+        return verdict::denied;
+      case acl_action::tarpit:
+        ++stats_.tarpitted;
+        return verdict::tarpitted;
+      case acl_action::allow:
+        break;
+    }
+    ++backend_served_[next_backend_];
+    next_backend_ = next_backend_ + 1 == backend_served_.size() ? 0 : next_backend_ + 1;
+    ++stats_.forwarded;
+    return verdict::forwarded;
+  }
+
+  [[nodiscard]] const lb_stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t backends() const noexcept { return backend_served_.size(); }
+  [[nodiscard]] std::uint64_t backend_load(std::size_t i) const { return backend_served_.at(i); }
+
+ private:
+  acl acl_;
+  measurement_hook hook_;
+  std::vector<std::uint64_t> backend_served_;
+  std::size_t next_backend_ = 0;
+  lb_stats stats_{};
+  std::uint32_t id_;
+};
+
+}  // namespace memento::lb

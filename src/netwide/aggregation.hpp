@@ -1,0 +1,169 @@
+// The idealized Aggregation communication method (Section 4.3).
+//
+// "Aggregation is used in this study only as a baseline. Thus, instead of
+// implementing a specific algorithm, we simulate an idealized aggregation
+// technique with an unlimited space at the controller and no accuracy losses
+// upon merging." Beating this idealization (as Fig. 9/10 show Sample and
+// Batch do) proves superiority over ANY real merge-based scheme.
+//
+// Model (DESIGN.md, "Design decisions" item 5):
+//   * each vantage keeps an EXACT sliding window over its local share of the
+//     global window (ceil(W / m) packets - its expected slice of the last W
+//     network-wide packets);
+//   * a snapshot ships "all the entries of its HH algorithm" (Section 4.3):
+//     up to `max_entries` (the algorithm's counter budget) PREFIX entries at
+//     (E + 4) bytes each plus the O-byte header. The entries are the heaviest
+//     prefixes of the vantage's exact window across all H lattice levels -
+//     i.e. at least as informative as what a real MST / H-Memento instance
+//     of that size would hold (flow-granular top-k would be strictly weaker:
+//     a flood of one-packet flows carries no per-flow signal at all, but its
+//     subnet aggregate is huge);
+//   * snapshots are sent as fast as the B bytes/packet budget allows, which
+//     for these large messages is infrequent - the staleness that Sample and
+//     Batch exploit;
+//   * the controller merges snapshots losslessly (exact per-prefix sums).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hierarchy/hhh_solver.hpp"
+#include "netwide/budget.hpp"
+#include "sketch/exact_window.hpp"
+#include "trace/packet.hpp"
+
+namespace memento::netwide {
+
+/// One idealized snapshot: exact per-prefix counts of the vantage's window.
+template <typename H>
+struct aggregation_report {
+  std::uint32_t origin = 0;
+  std::unordered_map<typename H::key_type, std::uint64_t> prefix_counts;
+  double bytes = 0.0;  ///< what this message cost against the budget
+};
+
+/// Vantage side: exact local window + budget-gated snapshot emission.
+template <typename H>
+class aggregating_point {
+ public:
+  using key_type = typename H::key_type;
+
+  /// @param local_window the vantage's share of the global window (W / m).
+  /// @param max_entries  the HH algorithm's counter budget: the most flow
+  ///                     entries one message may carry.
+  aggregating_point(std::uint32_t id, std::size_t local_window, const budget_model& budget,
+                    std::size_t max_entries = 4096)
+      : window_(local_window > 0 ? local_window : 1),
+        budget_(budget),
+        max_entries_(max_entries > 0 ? max_entries : 1),
+        id_(id) {}
+
+  /// Observes one packet; emits a snapshot when enough budget has accrued to
+  /// pay for the (entries-dependent) message size.
+  [[nodiscard]] std::optional<aggregation_report<H>> observe(const packet& p) {
+    window_.add(p);
+    accrued_ += budget_.bytes_per_packet;
+    // Entry cost: E bytes of key + 4 bytes of count per shipped prefix.
+    const std::size_t entries =
+        std::min(window_.distinct() * H::hierarchy_size, max_entries_);
+    const double message_bytes =
+        budget_.overhead_bytes + (budget_.entry_bytes + 4.0) * static_cast<double>(entries);
+    if (accrued_ < message_bytes) return std::nullopt;
+    accrued_ -= message_bytes;
+    ++reports_sent_;
+    bytes_sent_ += message_bytes;
+    return snapshot(message_bytes);
+  }
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t reports_sent() const noexcept { return reports_sent_; }
+  [[nodiscard]] double bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  /// Exact per-prefix counts of the local window across all lattice levels,
+  /// truncated to the `max_entries_` heaviest prefixes (the message cap).
+  [[nodiscard]] aggregation_report<H> snapshot(double message_bytes) const {
+    std::unordered_map<key_type, std::uint64_t> prefix_counts;
+    prefix_counts.reserve(window_.distinct() * H::hierarchy_size);
+    window_.for_each([&](const packet& flow, std::uint64_t count) {
+      for (std::size_t i = 0; i < H::hierarchy_size; ++i) {
+        prefix_counts[H::key_at(flow, i)] += count;
+      }
+    });
+
+    aggregation_report<H> report;
+    report.origin = id_;
+    report.bytes = message_bytes;
+    if (prefix_counts.size() <= max_entries_) {
+      report.prefix_counts = std::move(prefix_counts);
+      return report;
+    }
+    std::vector<std::pair<key_type, std::uint64_t>> entries(prefix_counts.begin(),
+                                                            prefix_counts.end());
+    std::nth_element(entries.begin(), entries.begin() + static_cast<std::ptrdiff_t>(max_entries_),
+                     entries.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    entries.resize(max_entries_);
+    report.prefix_counts.reserve(entries.size());
+    for (auto& [key, count] : entries) report.prefix_counts.emplace(key, count);
+    return report;
+  }
+
+  exact_window<packet> window_;
+  budget_model budget_;
+  std::size_t max_entries_;
+  std::uint32_t id_;
+  double accrued_ = 0.0;
+  std::uint64_t reports_sent_ = 0;
+  double bytes_sent_ = 0.0;
+};
+
+/// Controller side: lossless merge of the latest snapshot from each vantage.
+template <typename H>
+class ideal_aggregation_controller {
+ public:
+  using key_type = typename H::key_type;
+
+  void on_report(aggregation_report<H> report) {
+    snapshots_[report.origin] = std::move(report.prefix_counts);
+  }
+
+  /// Sum of the latest snapshots - exact up to staleness.
+  [[nodiscard]] double query(const key_type& prefix) const {
+    std::uint64_t total = 0;
+    for (const auto& [origin, counts] : snapshots_) {
+      if (const auto it = counts.find(prefix); it != counts.end()) total += it->second;
+    }
+    return static_cast<double>(total);
+  }
+
+  /// HHH over the merged view at threshold theta (fraction of `window`).
+  [[nodiscard]] std::vector<hhh_entry<key_type>> output(double theta,
+                                                        std::uint64_t window) const {
+    std::vector<key_type> candidates;
+    for (const auto& [origin, counts] : snapshots_) {
+      for (const auto& [key, count] : counts) {
+        (void)count;
+        candidates.push_back(key);
+      }
+    }
+    return solve_hhh<H>(
+        std::move(candidates),
+        [this](const key_type& k) {
+          const double f = query(k);
+          return freq_bounds{f, f};
+        },
+        theta * static_cast<double>(window), /*compensation=*/0.0);
+  }
+
+  [[nodiscard]] std::size_t vantages_heard() const noexcept { return snapshots_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::unordered_map<key_type, std::uint64_t>> snapshots_;
+};
+
+}  // namespace memento::netwide

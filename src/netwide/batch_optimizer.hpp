@@ -1,0 +1,88 @@
+// Theorem 5.5: the guaranteed network-wide error of the Batch method and the
+// optimal batch size under a bandwidth budget.
+//
+// Two error sources add up (Section 5.2):
+//   * delayed reporting - each of the m measurement points holds back up to
+//     one batch, i.e. up to b/tau = (O + E b)/B packets (Theorem 5.4), giving
+//     m (O + E b) / B;
+//   * sampling - Theorems 5.2/5.3 bound it by sqrt(H W Z_{1-delta/2} / tau)
+//     = sqrt(H W Z_{1-delta/2} (O + E b) / (B b)).
+//
+// E_b = m (O + E b)/B + sqrt(H W Z_{1-delta/2} (O + E b)/(B b)).
+//
+// The Sample method is the b = 1 special case. E_b is unimodal in b (the
+// delay part grows linearly, the sampling part decays like 1/sqrt(b)), so the
+// integer optimum is found by scanning until the function has risen past its
+// best value for a safety margin. Fig. 4 and the Section 5.2 numeric examples
+// come straight from these two functions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "netwide/budget.hpp"
+#include "util/normal.hpp"
+
+namespace memento::netwide {
+
+/// Inputs of Theorem 5.5.
+struct error_model {
+  budget_model budget{};
+  std::size_t num_points = 10;   ///< m
+  double hierarchy_size = 5.0;   ///< H (1 for plain HH / D-Memento)
+  double window = 1e6;           ///< W
+  double delta = 1e-4;           ///< confidence delta_s
+
+  [[nodiscard]] double z() const { return z_value(1.0 - delta / 2.0); }
+};
+
+/// Decomposition of the Theorem 5.5 bound for one batch size.
+struct error_breakdown {
+  double delay = 0.0;     ///< m (O + E b) / B
+  double sampling = 0.0;  ///< sqrt(H W Z (O + E b) / (B b))
+
+  [[nodiscard]] double total() const noexcept { return delay + sampling; }
+};
+
+/// Evaluates the Theorem 5.5 bound at batch size b (in packets of error).
+[[nodiscard]] inline error_breakdown error_bound(const error_model& model, std::size_t b) {
+  if (b == 0) throw std::invalid_argument("error_bound: b must be >= 1");
+  const double report = model.budget.report_bytes(b);
+  const double per_point_delay = report / model.budget.bytes_per_packet;
+  error_breakdown e;
+  e.delay = static_cast<double>(model.num_points) * per_point_delay;
+  e.sampling = std::sqrt(model.hierarchy_size * model.window * model.z() * per_point_delay /
+                         static_cast<double>(b));
+  return e;
+}
+
+/// The Sample method's bound: Batch with b = 1 (Section 5.2).
+[[nodiscard]] inline error_breakdown sample_error_bound(const error_model& model) {
+  return error_bound(model, 1);
+}
+
+struct batch_optimum {
+  std::size_t batch_size = 1;
+  error_breakdown error{};
+};
+
+/// Integer argmin of the Theorem 5.5 bound ("easily done with numerical
+/// methods"). Scans b upward and stops once the bound has exceeded the best
+/// seen by 2x or a hard cap is hit - safe because E_b is unimodal with an
+/// eventually-linear tail.
+[[nodiscard]] inline batch_optimum optimal_batch(const error_model& model,
+                                                 std::size_t max_batch = 1'000'000) {
+  batch_optimum best{1, error_bound(model, 1)};
+  for (std::size_t b = 2; b <= max_batch; ++b) {
+    const auto e = error_bound(model, b);
+    if (e.total() < best.error.total()) {
+      best = {b, e};
+    } else if (e.total() > 2.0 * best.error.total()) {
+      break;  // far past the minimum of a unimodal function
+    }
+  }
+  return best;
+}
+
+}  // namespace memento::netwide

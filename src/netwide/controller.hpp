@@ -1,0 +1,93 @@
+// Controller-side network-wide algorithms: D-Memento (HH) and D-H-Memento
+// (HHH), Section 4.3.
+//
+// The controller owns a single Memento / H-Memento instance whose window is
+// defined over "the last W packets measured somewhere in the network". On a
+// Sample/Batch report it performs one Full update per sampled packet and a
+// Window update for every unsampled covered packet, so the controller's
+// clock advances exactly once per ingress packet network-wide and the
+// sampled fraction matches the vantage's tau - precisely the single-device
+// algorithm fed by a distributed sampler.
+#pragma once
+
+#include <cstdint>
+
+#include "core/h_memento.hpp"
+#include "core/memento.hpp"
+#include "netwide/measurement_point.hpp"
+#include "trace/packet.hpp"
+
+namespace memento::netwide {
+
+/// D-Memento: network-wide plain heavy hitters over flow ids.
+class d_memento_controller {
+ public:
+  /// @param window   W: global window, in network-wide packets.
+  /// @param counters Memento counters.
+  /// @param tau      the vantages' sampling probability (query scaling).
+  d_memento_controller(std::uint64_t window, std::size_t counters, double tau)
+      : sketch_(memento_config{window, counters, tau, /*seed=*/1}) {}
+
+  void on_report(const sample_report& report) {
+    for (const auto& p : report.samples) sketch_.full_update(flow_id(p));
+    const std::uint64_t unsampled =
+        report.covered_packets > report.samples.size()
+            ? report.covered_packets - report.samples.size()
+            : 0;
+    for (std::uint64_t i = 0; i < unsampled; ++i) sketch_.window_update();
+    ++reports_;
+  }
+
+  [[nodiscard]] double query(std::uint64_t flow) const { return sketch_.query(flow); }
+
+  [[nodiscard]] auto heavy_hitters(double theta) const { return sketch_.heavy_hitters(theta); }
+
+  [[nodiscard]] const memento_sketch<std::uint64_t>& sketch() const noexcept { return sketch_; }
+  [[nodiscard]] std::uint64_t reports_received() const noexcept { return reports_; }
+
+ private:
+  memento_sketch<std::uint64_t> sketch_;
+  std::uint64_t reports_ = 0;
+};
+
+/// D-H-Memento: network-wide hierarchical heavy hitters.
+template <typename H>
+class d_h_memento_controller {
+ public:
+  using key_type = typename H::key_type;
+
+  d_h_memento_controller(std::uint64_t window, std::size_t counters, double tau,
+                         double delta = 1e-3)
+      : algo_(h_memento_config{window, counters, tau, delta, /*seed=*/1}) {}
+
+  void on_report(const sample_report& report) {
+    for (const auto& p : report.samples) algo_.full_update(p);
+    const std::uint64_t unsampled =
+        report.covered_packets > report.samples.size()
+            ? report.covered_packets - report.samples.size()
+            : 0;
+    for (std::uint64_t i = 0; i < unsampled; ++i) algo_.window_update();
+    ++reports_;
+  }
+
+  [[nodiscard]] double query(const key_type& prefix) const { return algo_.query(prefix); }
+
+  /// Near-unbiased point estimate for threshold-based applications.
+  [[nodiscard]] double query_midpoint(const key_type& prefix) const {
+    return algo_.query_midpoint(prefix);
+  }
+
+  [[nodiscard]] auto output(double theta) const { return algo_.output(theta); }
+  [[nodiscard]] auto output(double theta, double compensation) const {
+    return algo_.output(theta, compensation);
+  }
+
+  [[nodiscard]] const h_memento<H>& algorithm() const noexcept { return algo_; }
+  [[nodiscard]] std::uint64_t reports_received() const noexcept { return reports_; }
+
+ private:
+  h_memento<H> algo_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace memento::netwide

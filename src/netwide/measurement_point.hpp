@@ -1,0 +1,101 @@
+// Measurement-point side of the Sample and Batch communication methods
+// (Section 4.3).
+//
+// A vantage observes every ingress packet, samples it with probability tau,
+// and buffers sampled packets. Once b samples have accumulated it emits a
+// report carrying the samples plus the number of packets observed since the
+// previous report - the controller replays the samples as Full updates and
+// the remainder as Window updates, so the controller's window tracks the
+// union of all vantages' traffic. The Sample method is Batch with b = 1.
+//
+// Byte accounting is built in so simulations can assert the budget is
+// honored: each report costs O + E * b bytes against B bytes/packet accrued.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "netwide/budget.hpp"
+#include "trace/packet.hpp"
+#include "util/random.hpp"
+
+namespace memento::netwide {
+
+/// One Sample/Batch report from a vantage to the controller.
+struct sample_report {
+  std::uint32_t origin = 0;           ///< measurement-point id
+  std::vector<packet> samples;        ///< the sampled packets (size <= b)
+  std::uint64_t covered_packets = 0;  ///< packets observed since the last report
+};
+
+class measurement_point {
+ public:
+  /// @param id         vantage identifier stamped on reports.
+  /// @param tau        per-packet sampling probability.
+  /// @param batch_size b: samples per report (1 == the Sample method).
+  measurement_point(std::uint32_t id, double tau, std::size_t batch_size,
+                    std::uint64_t seed = 1)
+      : sampler_(tau, 1u << 16, seed ^ (0x51ed2701ULL * (id + 1))),
+        id_(id),
+        batch_size_(batch_size) {
+    if (batch_size == 0) throw std::invalid_argument("measurement_point: b must be >= 1");
+    if (tau <= 0.0 || tau > 1.0) {
+      throw std::invalid_argument("measurement_point: tau must be in (0, 1]");
+    }
+    buffer_.reserve(batch_size);
+  }
+
+  /// Convenience: budget-saturating vantage for a given model and b.
+  measurement_point(std::uint32_t id, const budget_model& budget, std::size_t batch_size,
+                    std::uint64_t seed = 1)
+      : measurement_point(id, budget.max_tau(batch_size), batch_size, seed) {}
+
+  /// Observes one ingress packet; returns a full report when the batch fills.
+  [[nodiscard]] std::optional<sample_report> observe(const packet& p) {
+    ++covered_;
+    ++observed_total_;
+    if (sampler_.sample()) buffer_.push_back(p);
+    if (buffer_.size() < batch_size_) return std::nullopt;
+
+    sample_report report{id_, std::move(buffer_), covered_};
+    buffer_ = {};
+    buffer_.reserve(batch_size_);
+    covered_ = 0;
+    ++reports_sent_;
+    return report;
+  }
+
+  /// Flushes a partial batch (end of simulation / graceful shutdown).
+  [[nodiscard]] std::optional<sample_report> flush() {
+    if (buffer_.empty() && covered_ == 0) return std::nullopt;
+    sample_report report{id_, std::move(buffer_), covered_};
+    buffer_ = {};
+    covered_ = 0;
+    ++reports_sent_;
+    return report;
+  }
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+  [[nodiscard]] std::uint64_t observed_total() const noexcept { return observed_total_; }
+  [[nodiscard]] std::uint64_t reports_sent() const noexcept { return reports_sent_; }
+
+  /// Control bytes spent so far under a given cost model.
+  [[nodiscard]] double bytes_sent(const budget_model& budget) const noexcept {
+    return static_cast<double>(reports_sent_) * budget.report_bytes(batch_size_);
+  }
+
+ private:
+  random_table_sampler sampler_;
+  std::vector<packet> buffer_;
+  std::uint32_t id_;
+  std::size_t batch_size_;
+  std::uint64_t covered_ = 0;
+  std::uint64_t observed_total_ = 0;
+  std::uint64_t reports_sent_ = 0;
+};
+
+}  // namespace memento::netwide

@@ -1,0 +1,258 @@
+// Space Saving [Metwally et al., ICDT 2005] with the classic stream-summary
+// structure: worst-case O(1) increments and evictions.
+//
+// This is the substrate of the entire repository (Section 2 of the paper):
+// Memento uses one instance to count in-frame frequencies approximately; MST
+// keeps H instances (one per prefix pattern); RHHH keeps H instances updated
+// by sampling. The guarantees relied upon everywhere:
+//
+//   * no undercount:  query(x) >= f(x) for every x (monitored or not);
+//   * bounded overcount:  query(x) - f(x) <= min_count() <= N / capacity,
+//     where N is the number of add() calls since the last flush().
+//
+// Layout: counters live in a flat array; equal-count counters are chained
+// into a bucket; buckets form an ascending doubly-linked list whose head is
+// the minimum. All links are 32-bit indices into flat vectors - compact and
+// cache-predictable (Per.16 / Per.19), no per-update allocation (Per.14):
+// bucket nodes are recycled through a free list.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace memento {
+
+template <typename Key>
+class space_saving {
+ public:
+  /// A monitored (key, estimate) pair; `overestimate` is the classic
+  /// Space-Saving error bound recorded when the counter was last reallocated,
+  /// so `count - overestimate` never exceeds the true frequency.
+  struct entry {
+    Key key{};
+    std::uint64_t count = 0;
+    std::uint64_t overestimate = 0;
+  };
+
+  /// @param capacity number of counters (the paper's k); must be >= 1.
+  explicit space_saving(std::size_t capacity) : counters_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("space_saving: capacity must be >= 1");
+    if (capacity >= npos) throw std::invalid_argument("space_saving: capacity too large");
+    index_.reserve(capacity * 2);
+    buckets_.reserve(capacity + 1);
+  }
+
+  /// Processes one arrival of `x` (Section 2's three cases: increment an
+  /// existing counter, claim a free one, or evict the minimum). O(1).
+  void add(const Key& x) {
+    ++adds_;
+    if (const auto it = index_.find(x); it != index_.end()) {
+      increment(it->second);
+      return;
+    }
+    if (used_ < counters_.size()) {
+      const auto idx = static_cast<std::uint32_t>(used_++);
+      counter_node& c = counters_[idx];
+      c.key = x;
+      c.count = 1;
+      c.overestimate = 0;
+      index_.emplace(x, idx);
+      attach_to_count_one(idx);
+      return;
+    }
+    // Evict the minimum: reuse its slot for x, inheriting count (+1) and
+    // recording the inherited value as the overestimate.
+    const std::uint32_t idx = buckets_[min_bucket_].head;
+    counter_node& c = counters_[idx];
+    index_.erase(c.key);
+    c.overestimate = c.count;
+    c.key = x;
+    index_.emplace(x, idx);
+    increment(idx);
+  }
+
+  /// Upper-bound estimate: the counter if monitored, otherwise the minimum
+  /// counter once the structure is full (an unmonitored flow can have been
+  /// evicted with at most that many arrivals), otherwise 0.
+  [[nodiscard]] std::uint64_t query(const Key& x) const {
+    if (const auto it = index_.find(x); it != index_.end()) {
+      return counters_[it->second].count;
+    }
+    return used_ == counters_.size() ? min_count() : 0;
+  }
+
+  /// Lower-bound estimate: count minus the recorded overestimate (0 when the
+  /// flow is not monitored). Never exceeds the true frequency.
+  [[nodiscard]] std::uint64_t query_lower(const Key& x) const {
+    if (const auto it = index_.find(x); it != index_.end()) {
+      const counter_node& c = counters_[it->second];
+      return c.count - c.overestimate;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] bool contains(const Key& x) const { return index_.count(x) > 0; }
+
+  /// Value of the minimum counter (0 when empty).
+  [[nodiscard]] std::uint64_t min_count() const {
+    return min_bucket_ == npos ? 0 : buckets_[min_bucket_].count;
+  }
+
+  /// Resets all counters (Memento calls this at every frame boundary,
+  /// Algorithm 1 line 4). Capacity is retained; bucket nodes are recycled.
+  void flush() {
+    index_.clear();
+    buckets_.clear();
+    bucket_free_ = npos;
+    min_bucket_ = npos;
+    used_ = 0;
+    adds_ = 0;
+  }
+
+  /// Number of add() calls since construction or the last flush().
+  [[nodiscard]] std::uint64_t stream_length() const noexcept { return adds_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return counters_.size(); }
+
+  /// Snapshot of all monitored entries (used by HH output, MST/RHHH lattice
+  /// candidates, and the Aggregation communication method).
+  [[nodiscard]] std::vector<entry> entries() const {
+    std::vector<entry> out;
+    out.reserve(used_);
+    for (std::size_t i = 0; i < used_; ++i) {
+      out.push_back({counters_[i].key, counters_[i].count, counters_[i].overestimate});
+    }
+    return out;
+  }
+
+  /// Invokes fn(key, count, overestimate) for every monitored entry.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < used_; ++i) {
+      fn(counters_[i].key, counters_[i].count, counters_[i].overestimate);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t npos = std::numeric_limits<std::uint32_t>::max();
+
+  struct counter_node {
+    Key key{};
+    std::uint64_t count = 0;
+    std::uint64_t overestimate = 0;
+    std::uint32_t prev = npos;    ///< previous counter in the same bucket
+    std::uint32_t next = npos;    ///< next counter in the same bucket
+    std::uint32_t bucket = npos;  ///< owning bucket index
+  };
+
+  struct bucket_node {
+    std::uint64_t count = 0;
+    std::uint32_t head = npos;  ///< first counter in this bucket
+    std::uint32_t prev = npos;  ///< bucket with the next-smaller count
+    std::uint32_t next = npos;  ///< bucket with the next-larger count
+  };
+
+  /// Allocates a bucket node, recycling from the free list when possible.
+  std::uint32_t new_bucket(std::uint64_t count) {
+    std::uint32_t idx;
+    if (bucket_free_ != npos) {
+      idx = bucket_free_;
+      bucket_free_ = buckets_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(buckets_.size());
+      buckets_.emplace_back();
+    }
+    buckets_[idx] = bucket_node{count, npos, npos, npos};
+    return idx;
+  }
+
+  void free_bucket(std::uint32_t idx) {
+    buckets_[idx].next = bucket_free_;
+    bucket_free_ = idx;
+  }
+
+  /// Unlinks a counter from its bucket's chain; frees the bucket if emptied.
+  void detach_counter(std::uint32_t idx) {
+    counter_node& c = counters_[idx];
+    const std::uint32_t bkt = c.bucket;
+    if (c.prev != npos) counters_[c.prev].next = c.next;
+    if (c.next != npos) counters_[c.next].prev = c.prev;
+    if (buckets_[bkt].head == idx) buckets_[bkt].head = c.next;
+    c.prev = c.next = npos;
+    c.bucket = npos;
+    if (buckets_[bkt].head == npos) unlink_bucket(bkt);
+  }
+
+  void unlink_bucket(std::uint32_t bkt) {
+    bucket_node& b = buckets_[bkt];
+    if (b.prev != npos) buckets_[b.prev].next = b.next;
+    if (b.next != npos) buckets_[b.next].prev = b.prev;
+    if (min_bucket_ == bkt) min_bucket_ = b.next;
+    free_bucket(bkt);
+  }
+
+  /// Pushes a counter onto a bucket's chain (order within a bucket is
+  /// irrelevant, so head insertion keeps it O(1)).
+  void push_counter(std::uint32_t idx, std::uint32_t bkt) {
+    counter_node& c = counters_[idx];
+    c.bucket = bkt;
+    c.prev = npos;
+    c.next = buckets_[bkt].head;
+    if (c.next != npos) counters_[c.next].prev = idx;
+    buckets_[bkt].head = idx;
+  }
+
+  /// Places a fresh count-1 counter: into the head bucket if its count is 1,
+  /// otherwise into a new bucket prepended as the minimum.
+  void attach_to_count_one(std::uint32_t idx) {
+    if (min_bucket_ != npos && buckets_[min_bucket_].count == 1) {
+      push_counter(idx, min_bucket_);
+      return;
+    }
+    const std::uint32_t bkt = new_bucket(1);
+    buckets_[bkt].next = min_bucket_;
+    if (min_bucket_ != npos) buckets_[min_bucket_].prev = bkt;
+    min_bucket_ = bkt;
+    push_counter(idx, bkt);
+  }
+
+  /// count += 1 and migrate to the adjacent bucket, creating it if needed.
+  void increment(std::uint32_t idx) {
+    counter_node& c = counters_[idx];
+    const std::uint32_t bkt = c.bucket;
+    const std::uint64_t target = c.count + 1;
+    const std::uint32_t next = buckets_[bkt].next;
+
+    if (next != npos && buckets_[next].count == target) {
+      detach_counter(idx);  // may free bkt; `next` survives (it holds counters)
+      push_counter(idx, next);
+    } else {
+      // Create the target bucket after bkt *before* detaching, so bkt's list
+      // position anchors the insertion even if bkt becomes empty.
+      const std::uint32_t fresh = new_bucket(target);
+      bucket_node& b = buckets_[bkt];
+      buckets_[fresh].prev = bkt;
+      buckets_[fresh].next = b.next;
+      if (b.next != npos) buckets_[b.next].prev = fresh;
+      b.next = fresh;
+      detach_counter(idx);
+      push_counter(idx, fresh);
+    }
+    c.count = target;
+  }
+
+  std::vector<counter_node> counters_;
+  std::vector<bucket_node> buckets_;
+  std::unordered_map<Key, std::uint32_t> index_;
+  std::uint32_t bucket_free_ = npos;
+  std::uint32_t min_bucket_ = npos;
+  std::size_t used_ = 0;
+  std::uint64_t adds_ = 0;
+};
+
+}  // namespace memento

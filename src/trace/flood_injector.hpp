@@ -1,0 +1,89 @@
+// HTTP-flood trace transformation (Section 6.4).
+//
+// The paper builds its attack workload as follows: "(1) We select 50 subnets
+// by randomly choosing 8-bits for each, and (2) a random trace line in the
+// range (0, 10^6). Until that line the trace is unmodified. (3) From that
+// line on, at each line, with probability 0.7 we add a flood line from a
+// uniformly picked flooding sub-network, and with probability 0.3 we skip to
+// the next line of the original trace."
+//
+// `flood_injector` reproduces that construction exactly over any base trace.
+// Each emitted packet is labelled so detection experiments can compute missed
+// attack packets and per-subnet detection delay without re-deriving ground
+// truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/packet.hpp"
+#include "util/random.hpp"
+
+namespace memento {
+
+/// One packet of the composed trace plus attack ground truth.
+struct labelled_packet {
+  packet pkt;
+  bool is_attack = false;
+  std::uint8_t attack_subnet = 0;  ///< index into `flood_trace::subnets` when is_attack
+};
+
+/// The composed trace and its ground-truth metadata.
+struct flood_trace {
+  std::vector<labelled_packet> packets;
+  std::vector<std::uint32_t> subnets;  ///< the 50 flooding /8 prefixes (as first-octet << 24)
+  std::size_t flood_start = 0;         ///< index of the first line where flooding may appear
+};
+
+struct flood_config {
+  std::size_t num_subnets = 50;       ///< attacking 8-bit subnets
+  double flood_probability = 0.7;     ///< per-line probability of an attack insertion
+  std::size_t start_range = 1'000'000;///< flood start drawn uniformly from [0, start_range)
+  std::uint64_t seed = 7;
+};
+
+/// Composes the attack trace per Section 6.4.
+[[nodiscard]] inline flood_trace inject_flood(std::span<const packet> base,
+                                              const flood_config& config = {}) {
+  xoshiro256 rng(config.seed);
+  flood_trace out;
+
+  // (1) 50 distinct random 8-bit subnets (/8 prefixes).
+  std::unordered_set<std::uint32_t> chosen;
+  while (chosen.size() < config.num_subnets && chosen.size() < 256) {
+    chosen.insert(static_cast<std::uint32_t>(rng.bounded(256)) << 24);
+  }
+  out.subnets.assign(chosen.begin(), chosen.end());
+
+  // (2) flood start line.
+  const std::size_t limit = config.start_range > 0
+                                ? std::min(config.start_range, base.size())
+                                : base.size();
+  out.flood_start = limit > 0 ? static_cast<std::size_t>(rng.bounded(limit)) : 0;
+
+  out.packets.reserve(base.size() * 2);
+  std::size_t next_line = 0;
+  // Unmodified prefix of the trace.
+  for (; next_line < out.flood_start && next_line < base.size(); ++next_line) {
+    out.packets.push_back({base[next_line], false, 0});
+  }
+  // (3) Interleave: p=0.7 insert a flood line, p=0.3 consume an original line.
+  while (next_line < base.size()) {
+    if (rng.uniform01() < config.flood_probability) {
+      const auto subnet_idx = static_cast<std::uint8_t>(rng.bounded(out.subnets.size()));
+      const std::uint32_t host = static_cast<std::uint32_t>(rng.bounded(1u << 24));
+      const packet attack{out.subnets[subnet_idx] | host,
+                          static_cast<std::uint32_t>(rng())};
+      out.packets.push_back({attack, true, subnet_idx});
+    } else {
+      out.packets.push_back({base[next_line], false, 0});
+      ++next_line;
+    }
+  }
+  return out;
+}
+
+}  // namespace memento

@@ -1,0 +1,121 @@
+// Trace persistence: a minimal text format so users can run the algorithms
+// on their own captures (e.g. exported from tcpdump/tshark) and so
+// experiments can be archived and replayed bit-exactly.
+//
+// Format: one packet per line, "src,dst", each address either dotted-quad
+// ("181.7.20.6") or a raw unsigned 32-bit decimal. '#'-prefixed lines and
+// blank lines are ignored. Writing always emits dotted-quad.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace memento {
+
+/// Parses one address: dotted-quad or raw decimal. nullopt on malformed input.
+[[nodiscard]] inline std::optional<std::uint32_t> parse_ipv4(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t octets[4] = {0, 0, 0, 0};
+  int octet_count = 0;
+  std::uint64_t current = 0;
+  bool any_digit = false;
+  for (const char c : text) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<std::uint64_t>(c - '0');
+      if (current > 0xffffffffULL) return std::nullopt;
+      any_digit = true;
+    } else if (c == '.') {
+      if (!any_digit || octet_count >= 3) return std::nullopt;
+      octets[octet_count++] = current;
+      current = 0;
+      any_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!any_digit) return std::nullopt;
+
+  if (octet_count == 0) {  // raw decimal
+    return static_cast<std::uint32_t>(current);
+  }
+  if (octet_count != 3) return std::nullopt;
+  octets[3] = current;
+  for (const auto o : octets) {
+    if (o > 255) return std::nullopt;
+  }
+  return static_cast<std::uint32_t>((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) |
+                                    octets[3]);
+}
+
+/// Parses one "src,dst" line (surrounding whitespace tolerated).
+[[nodiscard]] inline std::optional<packet> parse_trace_line(std::string_view line) {
+  const auto trim = [](std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+      s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+      s.remove_suffix(1);
+    }
+    return s;
+  };
+  const auto comma = line.find(',');
+  if (comma == std::string_view::npos) return std::nullopt;
+  const auto src = parse_ipv4(trim(line.substr(0, comma)));
+  const auto dst = parse_ipv4(trim(line.substr(comma + 1)));
+  if (!src || !dst) return std::nullopt;
+  return packet{*src, *dst};
+}
+
+struct trace_read_result {
+  std::vector<packet> packets;
+  std::size_t malformed_lines = 0;  ///< skipped, never fatal
+};
+
+/// Reads a whole trace from a stream.
+[[nodiscard]] inline trace_read_result read_trace(std::istream& in) {
+  trace_read_result result;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view = line;
+    if (view.empty() || view.front() == '#') continue;
+    if (const auto p = parse_trace_line(view)) {
+      result.packets.push_back(*p);
+    } else {
+      ++result.malformed_lines;
+    }
+  }
+  return result;
+}
+
+[[nodiscard]] inline trace_read_result read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  return read_trace(in);
+}
+
+/// Writes packets in the canonical dotted-quad format.
+inline void write_trace(std::ostream& out, std::span<const packet> packets) {
+  out << "# memento trace v1: src,dst per line\n";
+  for (const auto& p : packets) {
+    out << format_ipv4(p.src) << ',' << format_ipv4(p.dst) << '\n';
+  }
+}
+
+inline bool write_trace_file(const std::string& path, std::span<const packet> packets) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace(out, packets);
+  return static_cast<bool>(out);
+}
+
+}  // namespace memento

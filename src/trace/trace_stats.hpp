@@ -1,0 +1,52 @@
+// Descriptive statistics over a trace: used by tests to assert that the
+// surrogate traces land in the intended skew regime, and by examples to show
+// users what the generators produce.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace memento {
+
+struct trace_summary {
+  std::size_t packets = 0;
+  std::size_t distinct_flows = 0;
+  std::size_t distinct_sources = 0;
+  std::uint64_t top_flow_count = 0;       ///< packets of the single largest flow
+  double top_hundred_share = 0.0;         ///< fraction of traffic in the 100 largest flows
+};
+
+[[nodiscard]] inline trace_summary summarize(std::span<const packet> trace) {
+  trace_summary s;
+  s.packets = trace.size();
+
+  std::unordered_map<std::uint64_t, std::uint64_t> flows;
+  std::unordered_map<std::uint32_t, std::uint64_t> sources;
+  flows.reserve(trace.size() / 4 + 1);
+  for (const auto& p : trace) {
+    ++flows[flow_id(p)];
+    ++sources[p.src];
+  }
+  s.distinct_flows = flows.size();
+  s.distinct_sources = sources.size();
+
+  std::vector<std::uint64_t> counts;
+  counts.reserve(flows.size());
+  for (const auto& [id, c] : flows) counts.push_back(c);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+
+  if (!counts.empty()) s.top_flow_count = counts.front();
+  std::uint64_t top_hundred = 0;
+  for (std::size_t i = 0; i < counts.size() && i < 100; ++i) top_hundred += counts[i];
+  if (s.packets > 0) {
+    s.top_hundred_share = static_cast<double>(top_hundred) / static_cast<double>(s.packets);
+  }
+  return s;
+}
+
+}  // namespace memento

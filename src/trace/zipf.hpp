@@ -1,0 +1,72 @@
+// Zipf(alpha) rank sampler.
+//
+// All three packet traces in the paper's evaluation (Edge, Datacenter,
+// Backbone) are proprietary captures whose defining property, as far as the
+// algorithms can observe, is the skew of the flow-size distribution. The
+// surrogate traces draw flow *ranks* from Zipf(alpha) and map ranks to
+// pseudo-random IPv4 addresses (see trace_generator.hpp), so different alpha
+// values reproduce the different counter-churn regimes of the real traces.
+//
+// Sampling uses a precomputed inverse-CDF table with binary search:
+// O(log n) per draw, fully deterministic given the seed, and fast enough to
+// pre-materialize the 16M-packet traces used by the Fig. 5 speed benches in
+// a few seconds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace memento {
+
+class zipf_sampler {
+ public:
+  /// @param num_ranks population size n (ranks 0..n-1); must be >= 1.
+  /// @param alpha     skew; alpha = 0 is uniform, larger is more skewed.
+  zipf_sampler(std::size_t num_ranks, double alpha)
+      : cdf_(num_ranks > 0 ? num_ranks : 1), alpha_(alpha) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < cdf_.size(); ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), alpha_);
+      cdf_[r] = total;
+    }
+    const double inv = 1.0 / total;
+    for (auto& c : cdf_) c *= inv;
+    cdf_.back() = 1.0;  // guard against accumulated rounding
+  }
+
+  /// Draws a rank in [0, num_ranks): rank 0 is the most frequent.
+  [[nodiscard]] std::size_t sample(xoshiro256& rng) const noexcept {
+    const double u = rng.uniform01();
+    // Branchless-ish binary search over the CDF table.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Exact probability mass of a rank (for test assertions).
+  [[nodiscard]] double pmf(std::size_t rank) const noexcept {
+    if (rank >= cdf_.size()) return 0.0;
+    const double lower = rank == 0 ? 0.0 : cdf_[rank - 1];
+    return cdf_[rank] - lower;
+  }
+
+  [[nodiscard]] std::size_t num_ranks() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_;
+};
+
+}  // namespace memento

@@ -1,0 +1,32 @@
+// Standard-normal distribution helpers.
+//
+// The Memento analysis (Theorems 5.2, 5.3, 5.5) expresses every accuracy
+// guarantee through Z_alpha, the alpha-quantile of the standard normal
+// distribution ("Z is the inverse CDF of the normal distribution", Table 1).
+// The batch-size optimizer and the H-Memento conditioned-frequency
+// compensation term (Algorithm 2, line 8) both evaluate it at runtime, so we
+// implement the inverse CDF from scratch (no external math libraries).
+#pragma once
+
+namespace memento {
+
+/// CDF of the standard normal distribution, Phi(x).
+/// Implemented via std::erfc for full double precision.
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Inverse CDF (quantile) of the standard normal distribution: returns z such
+/// that Phi(z) = p, for p in (0, 1).
+///
+/// Uses Peter Acklam's rational approximation (relative error < 1.15e-9)
+/// refined by one step of Halley's method against `normal_cdf`, giving
+/// near-machine precision across the whole domain - including the extreme
+/// tails the paper's delta = 1e-6 configurations reach.
+///
+/// Out-of-domain p returns +/-infinity (p >= 1 / p <= 0 respectively).
+[[nodiscard]] double normal_quantile(double p) noexcept;
+
+/// The paper's Z_{1-delta} shorthand: the (1-delta)-quantile.
+/// Section 5.1 notes Z_{1-delta/4} < 4 for any delta > 1e-6; asserted in tests.
+[[nodiscard]] double z_value(double one_minus_delta) noexcept;
+
+}  // namespace memento

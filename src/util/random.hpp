@@ -1,0 +1,188 @@
+// Fast pseudo-random primitives used on the packet-processing hot path.
+//
+// The Memento paper (Section 6.2) attributes part of Memento's speed edge over
+// RHHH to *how* sampling is implemented: RHHH draws a geometric random
+// variable per sampled packet (expensive log/division at small probabilities),
+// whereas Memento consults a precomputed random-number table. Both schemes are
+// provided here so the ablation bench can reproduce that comparison:
+//
+//   * `random_table_sampler`  - table-driven Bernoulli(tau) decisions, O(1)
+//                               with no floating point on the hot path.
+//   * `geometric_sampler`     - skip-count sampling, one log() per *sampled*
+//                               packet (amortized fast at small tau).
+//
+// The base generator is xoshiro256** seeded via splitmix64: fast, high
+// quality, and deterministic across platforms, which keeps every experiment
+// in this repository reproducible from a seed.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace memento {
+
+/// splitmix64 step; used to expand a single 64-bit seed into generator state.
+/// Returns the next value and advances `state`.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: 256-bit state, period 2^256 - 1.
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions in non-hot-path code.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all four words from `seed` via splitmix64 (never all-zero).
+  explicit constexpr xoshiro256(std::uint64_t seed = 0x8f1e9a2b5c3d7e4fULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) using the top 53 bits.
+  [[nodiscard]] constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t bound) noexcept {
+    __extension__ using uint128 = unsigned __int128;
+    const auto x = (*this)();
+    const auto m = static_cast<uint128>(x) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Table-driven Bernoulli(tau) sampler: the paper's "random number table"
+/// (Section 6.2). A table of raw 64-bit draws is generated up front; each
+/// decision is one table read and one integer comparison. The cursor wraps,
+/// so the table acts as a recycled randomness pool: table_size only needs to
+/// be large relative to the correlation structure the consumer cares about
+/// (the benches use 2^16 entries, > 10x any counter count evaluated).
+class random_table_sampler {
+ public:
+  /// @param tau        sampling probability in [0, 1].
+  /// @param table_size number of precomputed draws (must be > 0).
+  /// @param seed       PRNG seed for table generation.
+  explicit random_table_sampler(double tau, std::size_t table_size = 1u << 16,
+                                std::uint64_t seed = 1) {
+    xoshiro256 rng(seed);
+    table_.resize(table_size > 0 ? table_size : 1);
+    for (auto& draw : table_) draw = rng();
+    set_probability(tau);
+  }
+
+  /// Re-targets the sampler without regenerating the table.
+  void set_probability(double tau) noexcept {
+    if (tau >= 1.0) {
+      threshold_ = std::numeric_limits<std::uint64_t>::max();
+      always_ = true;
+    } else if (tau <= 0.0) {
+      threshold_ = 0;
+      always_ = false;
+    } else {
+      threshold_ = static_cast<std::uint64_t>(
+          tau * static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+      always_ = false;
+    }
+  }
+
+  /// One Bernoulli(tau) decision; O(1), no floating point.
+  [[nodiscard]] bool sample() noexcept {
+    if (always_) return true;
+    const std::uint64_t draw = table_[cursor_];
+    cursor_ = cursor_ + 1 == table_.size() ? 0 : cursor_ + 1;
+    return draw < threshold_;
+  }
+
+  [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }
+
+ private:
+  std::vector<std::uint64_t> table_;
+  std::size_t cursor_ = 0;
+  std::uint64_t threshold_ = 0;
+  bool always_ = false;
+};
+
+/// Geometric skip-count sampler: decides Bernoulli(tau) per event by drawing,
+/// once per *success*, the number of failures until the next success
+/// (Geometric(tau) via inverse transform). This is RHHH's scheme; one `log`
+/// per sampled packet, so cheap when tau is small and the skip is long, but
+/// the per-sample cost dominates when tau is large. Exposed for the Fig. 7
+/// discussion and the sampling ablation bench.
+class geometric_sampler {
+ public:
+  explicit geometric_sampler(double tau, std::uint64_t seed = 1) noexcept
+      : rng_(seed) {
+    set_probability(tau);
+  }
+
+  void set_probability(double tau) noexcept {
+    tau_ = tau;
+    if (tau_ < 1.0 && tau_ > 0.0) {
+      log1m_tau_ = std::log1p(-tau_);
+    }
+    skip_ = 0;
+    draw_skip();
+  }
+
+  /// Returns true when this event is sampled.
+  [[nodiscard]] bool sample() noexcept {
+    if (tau_ >= 1.0) return true;
+    if (tau_ <= 0.0) return false;
+    if (skip_ > 0) {
+      --skip_;
+      return false;
+    }
+    draw_skip();
+    return true;
+  }
+
+ private:
+  void draw_skip() noexcept {
+    if (tau_ >= 1.0 || tau_ <= 0.0) return;
+    // Inverse-transform Geometric: floor(ln(U) / ln(1 - tau)), U in (0,1).
+    double u = rng_.uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;
+    skip_ = static_cast<std::uint64_t>(std::log(u) / log1m_tau_);
+  }
+
+  xoshiro256 rng_;
+  double tau_ = 1.0;
+  double log1m_tau_ = 0.0;
+  std::uint64_t skip_ = 0;
+};
+
+}  // namespace memento

@@ -1,0 +1,35 @@
+// Minimal monotonic stopwatch for the harness mains that measure throughput
+// outside google-benchmark (the accuracy figures time whole simulations, not
+// tight loops, so steady_clock granularity is more than sufficient).
+#pragma once
+
+#include <chrono>
+
+namespace memento {
+
+class stopwatch {
+ public:
+  stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed wall time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Throughput in million operations per second, guarding against zero time.
+[[nodiscard]] inline double mops(std::size_t operations, double elapsed_seconds) noexcept {
+  if (elapsed_seconds <= 0.0) return 0.0;
+  return static_cast<double>(operations) / elapsed_seconds / 1e6;
+}
+
+}  // namespace memento

@@ -1,0 +1,61 @@
+// Console table formatting for the benchmark harness mains.
+//
+// Every figure-reproduction binary prints its series as an aligned text table
+// (one row per data point) so EXPERIMENTS.md can quote the output verbatim.
+// Kept deliberately tiny: fixed column widths, right-aligned numerics.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace memento {
+
+class console_table {
+ public:
+  explicit console_table(std::vector<std::string> headers, int column_width = 14)
+      : headers_(std::move(headers)), width_(column_width) {}
+
+  /// Prints the header row followed by a rule.
+  void print_header(std::ostream& os = std::cout) const {
+    for (const auto& h : headers_) os << std::setw(width_) << h;
+    os << '\n';
+    os << std::string(headers_.size() * static_cast<std::size_t>(width_), '-') << '\n';
+  }
+
+  /// Appends one cell to the current row; call `end_row` to flush.
+  template <typename T>
+  console_table& cell(const T& value) {
+    std::ostringstream ss;
+    if constexpr (std::is_floating_point_v<T>) {
+      ss << std::fixed << std::setprecision(4) << value;
+    } else {
+      ss << value;
+    }
+    row_.push_back(ss.str());
+    return *this;
+  }
+
+  /// Floating-point cell with explicit precision.
+  console_table& cell(double value, int precision) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    row_.push_back(ss.str());
+    return *this;
+  }
+
+  void end_row(std::ostream& os = std::cout) {
+    for (const auto& c : row_) os << std::setw(width_) << c;
+    os << '\n';
+    row_.clear();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::string> row_;
+  int width_;
+};
+
+}  // namespace memento

@@ -1,0 +1,166 @@
+// Tests for the exact oracles: sliding-window counter, interval counter and
+// the exact HHH ground truth. These must be beyond doubt - every accuracy
+// experiment measures against them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "sketch/exact_hhh.hpp"
+#include "sketch/exact_window.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/random.hpp"
+
+namespace memento {
+namespace {
+
+TEST(ExactWindow, RejectsZeroWindow) {
+  EXPECT_THROW(exact_window<int>(0), std::invalid_argument);
+}
+
+TEST(ExactWindow, CountsWithinWindowOnly) {
+  exact_window<int> win(3);
+  win.add(1);
+  win.add(1);
+  win.add(2);
+  EXPECT_EQ(win.query(1), 2u);
+  EXPECT_EQ(win.query(2), 1u);
+  win.add(3);  // evicts the first 1
+  EXPECT_EQ(win.query(1), 1u);
+  win.add(3);  // evicts the second 1
+  EXPECT_EQ(win.query(1), 0u);
+  EXPECT_EQ(win.query(3), 2u);
+}
+
+TEST(ExactWindow, OccupancySaturatesAtW) {
+  exact_window<int> win(5);
+  for (int i = 0; i < 3; ++i) win.add(i);
+  EXPECT_EQ(win.occupancy(), 3u);
+  for (int i = 0; i < 100; ++i) win.add(i);
+  EXPECT_EQ(win.occupancy(), 5u);
+  EXPECT_EQ(win.stream_length(), 103u);
+}
+
+TEST(ExactWindow, DistinctTracksLiveKeys) {
+  exact_window<int> win(4);
+  win.add(1);
+  win.add(2);
+  win.add(1);
+  EXPECT_EQ(win.distinct(), 2u);
+  win.add(3);
+  win.add(4);  // evicts the first 1; the second 1 remains
+  EXPECT_EQ(win.distinct(), 4u);
+  win.add(5);  // evicts 2
+  EXPECT_EQ(win.query(2), 0u);
+  EXPECT_EQ(win.distinct(), 4u);
+}
+
+TEST(ExactWindow, MatchesNaiveDequeReference) {
+  // Differential test against an obviously-correct deque model.
+  constexpr std::size_t w = 97;
+  exact_window<std::uint64_t> win(w);
+  std::deque<std::uint64_t> reference;
+  xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.bounded(50);
+    win.add(key);
+    reference.push_back(key);
+    if (reference.size() > w) reference.pop_front();
+    if (i % 500 == 0) {
+      std::unordered_map<std::uint64_t, std::uint64_t> truth;
+      for (const auto k : reference) ++truth[k];
+      for (std::uint64_t k = 0; k < 50; ++k) {
+        const auto it = truth.find(k);
+        ASSERT_EQ(win.query(k), it == truth.end() ? 0u : it->second) << "at step " << i;
+      }
+    }
+  }
+}
+
+TEST(ExactWindow, ForEachSumsToOccupancy) {
+  exact_window<int> win(10);
+  for (int i = 0; i < 25; ++i) win.add(i % 4);
+  std::uint64_t total = 0;
+  win.for_each([&](int, std::uint64_t c) { total += c; });
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ExactInterval, CountsAndResets) {
+  exact_interval<int> interval;
+  for (int i = 0; i < 10; ++i) interval.add(i % 3);
+  EXPECT_EQ(interval.query(0), 4u);
+  EXPECT_EQ(interval.query(1), 3u);
+  EXPECT_EQ(interval.stream_length(), 10u);
+  interval.reset();
+  EXPECT_EQ(interval.query(0), 0u);
+  EXPECT_EQ(interval.stream_length(), 0u);
+  EXPECT_EQ(interval.distinct(), 0u);
+}
+
+// --- exact HHH -----------------------------------------------------------------
+
+TEST(ExactHhh, PrefixQueriesAggregateHosts) {
+  exact_hhh<source_hierarchy> hhh(100);
+  // 10 packets from 10.1.1.1, 5 from 10.1.1.2, 3 from 10.2.0.1.
+  for (int i = 0; i < 10; ++i) hhh.update({0x0A010101u, 0});
+  for (int i = 0; i < 5; ++i) hhh.update({0x0A010102u, 0});
+  for (int i = 0; i < 3; ++i) hhh.update({0x0A020001u, 0});
+
+  EXPECT_EQ(hhh.query(prefix1d::make_key(0x0A010101u, 0)), 10u);
+  EXPECT_EQ(hhh.query(prefix1d::make_key(0x0A010100u, 1)), 15u);
+  EXPECT_EQ(hhh.query(prefix1d::make_key(0x0A010000u, 2)), 15u);
+  EXPECT_EQ(hhh.query(prefix1d::make_key(0x0A000000u, 3)), 18u);
+  EXPECT_EQ(hhh.query(prefix1d::make_key(0, 4)), 18u);
+}
+
+TEST(ExactHhh, WindowSlidesPerPrefix) {
+  exact_hhh<source_hierarchy> hhh(4);
+  for (int i = 0; i < 4; ++i) hhh.update({0x0A010101u, 0});
+  EXPECT_EQ(hhh.query(prefix1d::make_key(0x0A010101u, 0)), 4u);
+  for (int i = 0; i < 4; ++i) hhh.update({0x0B010101u, 0});
+  EXPECT_EQ(hhh.query(prefix1d::make_key(0x0A010101u, 0)), 0u);
+  EXPECT_EQ(hhh.query(prefix1d::make_key(0x0B000000u, 3)), 4u);
+}
+
+TEST(ExactHhh, OutputMatchesHandComputedSet) {
+  // Window 100; theta 0.3 -> bar 30. Hosts: A=40 (alone a HHH);
+  // subnet 20.x: 3 hosts x 12 = 36 -> the /24 qualifies via aggregation;
+  // root residue: 100 - 40 - 36 = 24 < 30 -> root excluded.
+  exact_hhh<source_hierarchy> hhh(100);
+  for (int i = 0; i < 40; ++i) hhh.update({0x0A010101u, 0});
+  for (int h = 0; h < 3; ++h) {
+    for (int i = 0; i < 12; ++i) {
+      hhh.update({0x14010100u + static_cast<std::uint32_t>(h), 0});
+    }
+  }
+  for (int i = 0; i < 24; ++i) {
+    hhh.update({0xC0000000u + static_cast<std::uint32_t>(i) * 0x10101u, 0});
+  }
+  const auto result = hhh.output(0.3);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].key, prefix1d::make_key(0x0A010101u, 0));
+  EXPECT_EQ(result[1].key, prefix1d::make_key(0x14010100u, 1));
+}
+
+TEST(ExactHhh, TwoDimensionalAggregation) {
+  exact_hhh<two_dim_hierarchy> hhh(50);
+  for (int i = 0; i < 30; ++i) hhh.update({0x0A010101u, 0x14020202u});
+  for (int i = 0; i < 20; ++i) hhh.update({0x0A010102u, 0x14020203u});
+  // (10.1.1.*, 20.2.2.*) aggregates both flows: 50.
+  EXPECT_EQ(hhh.query(prefix2::make(0x0A010100u, 1, 0x14020200u, 1)), 50u);
+  EXPECT_EQ(hhh.query(prefix2::make(0x0A010101u, 0, 0x14020200u, 1)), 30u);
+  const auto result = hhh.output(0.5);  // bar 25
+  ASSERT_FALSE(result.empty());
+  EXPECT_EQ(result[0].key, two_dim_hierarchy::full_key({0x0A010101u, 0x14020202u}));
+}
+
+TEST(ExactHhh, StreamLengthCounts) {
+  exact_hhh<source_hierarchy> hhh(10);
+  for (int i = 0; i < 7; ++i) hhh.update({static_cast<std::uint32_t>(i), 0});
+  EXPECT_EQ(hhh.stream_length(), 7u);
+  EXPECT_EQ(hhh.window_size(), 10u);
+}
+
+}  // namespace
+}  // namespace memento

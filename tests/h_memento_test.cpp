@@ -1,0 +1,255 @@
+// Tests for H-Memento (Algorithm 2): estimate scaling, the accuracy and
+// coverage properties of Definition 4.2, and both hierarchy dimensions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/h_memento.hpp"
+#include "sketch/exact_hhh.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/random.hpp"
+
+namespace memento {
+namespace {
+
+TEST(HMementoConfig, Validation) {
+  EXPECT_THROW(h_memento<source_hierarchy>(1000, 100, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(h_memento<source_hierarchy>(1000, 100, 1.0, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(h_memento<source_hierarchy>(1000, 100, 1.0, 0.01));
+}
+
+TEST(HMemento, SamplingRatioIsHOverTau) {
+  h_memento<source_hierarchy> hm(1000, 100, 0.5);
+  EXPECT_DOUBLE_EQ(hm.sampling_ratio(), 5.0 / 0.5);
+  h_memento<two_dim_hierarchy> hm2(1000, 100, 0.25);
+  EXPECT_DOUBLE_EQ(hm2.sampling_ratio(), 25.0 / 0.25);
+}
+
+TEST(HMemento, CompensationMatchesFormula) {
+  h_memento<source_hierarchy> hm(10000, 100, 0.5, 0.01);
+  const double v = 5.0 / 0.5;
+  const double expected =
+      2.0 * z_value(0.99) * std::sqrt(v * static_cast<double>(hm.window_size()));
+  EXPECT_NEAR(hm.sampling_compensation(), expected, 1e-9);
+}
+
+TEST(HMemento, SingleSubnetEstimateApproachesWindow) {
+  // All traffic from one host: every prefix of it carries the whole window.
+  h_memento<source_hierarchy> hm(5000, 500, 1.0, 1e-3, /*seed=*/3);
+  const packet p{0x0A010101u, 0x14141414u};
+  for (int i = 0; i < 20000; ++i) hm.update(p);
+  const double w = static_cast<double>(hm.window_size());
+  for (std::size_t d = 0; d < 5; ++d) {
+    const double est = hm.query(source_hierarchy::key_at(p, d));
+    // Each prefix receives ~W/5 of the inserts; estimate rescales by H = 5.
+    EXPECT_GT(est, 0.6 * w) << "depth " << d;
+    EXPECT_LT(est, 1.8 * w) << "depth " << d;
+  }
+}
+
+TEST(HMemento, QueryLowerNeverExceedsQuery) {
+  h_memento<source_hierarchy> hm(2000, 200, 0.5, 1e-3);
+  auto trace = make_trace(trace_kind::datacenter, 10000);
+  for (const auto& p : trace) hm.update(p);
+  for (const auto& p : trace) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      const auto key = source_hierarchy::key_at(p, d);
+      ASSERT_LE(hm.query_lower(key), hm.query(key));
+    }
+  }
+}
+
+// --- accuracy property (Definition 4.2, Accuracy) ------------------------------
+
+struct accuracy_param {
+  double tau;
+  std::size_t counters;
+  trace_kind kind;
+};
+
+class HMementoAccuracy : public ::testing::TestWithParam<accuracy_param> {};
+
+TEST_P(HMementoAccuracy, PrefixEstimatesWithinEnvelope) {
+  const auto param = GetParam();
+  constexpr std::uint64_t window = 40000;
+  h_memento<source_hierarchy> hm(window, param.counters, param.tau, 1e-3, /*seed=*/5);
+  exact_hhh<source_hierarchy> exact(hm.window_size());
+
+  auto trace = make_trace(param.kind, 150000, /*seed=*/11);
+  // Envelope: algorithm width (scaled by H) + sampling term ~ 2 sqrt(V W)
+  // (Theorem A.4 at ~2 sigma), with a 2x engineering margin; violations are
+  // allowed at a small rate since the guarantee is probabilistic.
+  const double v = hm.sampling_ratio();
+  const double envelope = 5.0 * hm.inner().estimate_width() +
+                          4.0 * std::sqrt(v * static_cast<double>(hm.window_size()));
+
+  std::size_t checks = 0;
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    hm.update(trace[i]);
+    exact.update(trace[i]);
+    if (i % 211 == 0 && i > window) {
+      for (std::size_t d = 0; d < 5; ++d) {
+        const auto key = source_hierarchy::key_at(trace[i], d);
+        const double err =
+            std::abs(hm.query(key) - static_cast<double>(exact.query(key)));
+        violations += err > envelope;
+        ++checks;
+      }
+    }
+  }
+  EXPECT_GT(checks, 1000u);
+  EXPECT_LE(static_cast<double>(violations) / static_cast<double>(checks), 0.05)
+      << violations << "/" << checks;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TauCountersTraces, HMementoAccuracy,
+    ::testing::Values(accuracy_param{1.0, 1000, trace_kind::backbone},
+                      accuracy_param{0.5, 1000, trace_kind::backbone},
+                      accuracy_param{0.25, 2000, trace_kind::datacenter},
+                      accuracy_param{0.125, 2000, trace_kind::edge}),
+    [](const auto& info) {
+      return std::string(trace_name(info.param.kind)) + "_k" +
+             std::to_string(info.param.counters) + "_invtau" +
+             std::to_string(static_cast<int>(1.0 / info.param.tau));
+    });
+
+// --- coverage property (Definition 4.2, Coverage) -------------------------------
+
+struct coverage_param {
+  double tau;
+  double theta;
+  trace_kind kind;
+};
+
+class HMementoCoverage : public ::testing::TestWithParam<coverage_param> {};
+
+TEST_P(HMementoCoverage, ExactHhhPrefixesAreCovered) {
+  // Coverage: any prefix OUTSIDE the returned set has conditioned frequency
+  // below theta*W. We verify the practical contrapositive the paper tests:
+  // every member of the exact HHH set appears in the compensated output.
+  const auto param = GetParam();
+  constexpr std::uint64_t window = 30000;
+  h_memento<source_hierarchy> hm(window, 3000, param.tau, 1e-2, /*seed=*/7);
+  exact_hhh<source_hierarchy> exact(hm.window_size());
+
+  auto trace = make_trace(param.kind, 90000, /*seed=*/23);
+  for (const auto& p : trace) {
+    hm.update(p);
+    exact.update(p);
+  }
+
+  const auto approx = hm.output(param.theta);  // full compensation
+  std::unordered_set<std::uint64_t> approx_keys;
+  for (const auto& e : approx) approx_keys.insert(e.key);
+
+  for (const auto& truth : exact.output(param.theta)) {
+    EXPECT_TRUE(approx_keys.count(truth.key))
+        << "missed exact HHH " << source_hierarchy::to_string(truth.key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TauThetaTraces, HMementoCoverage,
+    ::testing::Values(coverage_param{1.0, 0.1, trace_kind::datacenter},
+                      coverage_param{1.0, 0.05, trace_kind::backbone},
+                      coverage_param{0.5, 0.1, trace_kind::datacenter},
+                      coverage_param{0.25, 0.1, trace_kind::backbone},
+                      coverage_param{0.25, 0.05, trace_kind::edge}),
+    [](const auto& info) {
+      return std::string(trace_name(info.param.kind)) + "_invtau" +
+             std::to_string(static_cast<int>(1.0 / info.param.tau)) + "_theta" +
+             std::to_string(static_cast<int>(info.param.theta * 100));
+    });
+
+TEST(HMementoOutput, ZeroCompensationShrinksTheSet) {
+  h_memento<source_hierarchy> hm(20000, 2000, 0.5, 1e-3, /*seed=*/9);
+  auto trace = make_trace(trace_kind::datacenter, 60000);
+  for (const auto& p : trace) hm.update(p);
+  const auto compensated = hm.output(0.05);
+  const auto raw = hm.output(0.05, 0.0);
+  EXPECT_LE(raw.size(), compensated.size());
+}
+
+TEST(HMementoOutput, EntriesCarryConditionedFrequencies) {
+  h_memento<source_hierarchy> hm(10000, 1000, 1.0, 1e-3);
+  const packet hot{0x0A010101u, 0};
+  for (int i = 0; i < 30000; ++i) hm.update(hot);
+  const auto out = hm.output(0.5, 0.0);
+  ASSERT_FALSE(out.empty());
+  for (const auto& e : out) {
+    EXPECT_GT(e.conditioned_frequency, 0.0);
+    EXPECT_GT(e.upper_estimate, 0.0);
+  }
+}
+
+// --- two dimensions ---------------------------------------------------------------
+
+TEST(HMemento2d, HotPairDetected) {
+  h_memento<two_dim_hierarchy> hm(20000, 5000, 1.0, 1e-2, /*seed=*/13);
+  exact_hhh<two_dim_hierarchy> exact(hm.window_size());
+  xoshiro256 rng(15);
+  const packet hot{0x0A010101u, 0x14020202u};
+  auto background = make_trace(trace_kind::backbone, 1);
+  trace_generator gen(trace_kind::backbone, 77);
+  for (int i = 0; i < 60000; ++i) {
+    const packet p = rng.uniform01() < 0.3 ? hot : gen.next();
+    hm.update(p);
+    exact.update(p);
+  }
+  const auto approx = hm.output(0.2);
+  const auto truth = exact.output(0.2);
+  ASSERT_FALSE(truth.empty());
+  // The hot fully-specified pair must be in both sets.
+  const auto hot_key = two_dim_hierarchy::full_key(hot);
+  const auto in_set = [&](const auto& set) {
+    return std::any_of(set.begin(), set.end(),
+                       [&](const auto& e) { return e.key == hot_key; });
+  };
+  EXPECT_TRUE(in_set(truth));
+  EXPECT_TRUE(in_set(approx));
+}
+
+TEST(HMemento2d, CoverageOnSyntheticTrace) {
+  h_memento<two_dim_hierarchy> hm(20000, 6000, 1.0, 1e-2, /*seed=*/17);
+  exact_hhh<two_dim_hierarchy> exact(hm.window_size());
+  auto trace = make_trace(trace_kind::datacenter, 60000, /*seed=*/31);
+  for (const auto& p : trace) {
+    hm.update(p);
+    exact.update(p);
+  }
+  std::unordered_set<prefix2d> approx_keys;
+  for (const auto& e : hm.output(0.1)) approx_keys.insert(e.key);
+  for (const auto& truth : exact.output(0.1)) {
+    EXPECT_TRUE(approx_keys.count(truth.key))
+        << "missed " << two_dim_hierarchy::to_string(truth.key);
+  }
+}
+
+TEST(HMemento, DistributedUpdatePathMatchesSampling) {
+  // full_update / window_update (the D-H-Memento path) must yield the same
+  // estimate scale as probabilistic update at the same effective rate.
+  constexpr std::uint64_t window = 10000;
+  h_memento<source_hierarchy> sampled(window, 1000, 0.5, 1e-3, /*seed=*/41);
+  h_memento<source_hierarchy> forced(window, 1000, 0.5, 1e-3, /*seed=*/42);
+  xoshiro256 rng(43);
+  const packet hot{0x0A010101u, 0};
+  for (int i = 0; i < 40000; ++i) {
+    sampled.update(hot);
+    if (rng.uniform01() < 0.5) {
+      forced.full_update(hot);
+    } else {
+      forced.window_update();
+    }
+  }
+  const auto key = source_hierarchy::full_key(hot);
+  EXPECT_NEAR(sampled.query(key), forced.query(key),
+              0.25 * static_cast<double>(window) + 1.0);
+}
+
+}  // namespace
+}  // namespace memento

@@ -1,0 +1,212 @@
+// Cross-module integration tests: miniature versions of the paper's
+// experiments wired end-to-end, asserting the *shape* results the figures
+// report (who wins, in which direction) at test-sized scales.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/baseline_window_mst.hpp"
+#include "core/h_memento.hpp"
+#include "core/memento.hpp"
+#include "core/mst.hpp"
+#include "lb/cluster.hpp"
+#include "netwide/simulation.hpp"
+#include "sketch/exact_hhh.hpp"
+#include "sketch/exact_window.hpp"
+#include "trace/flood_injector.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace memento {
+namespace {
+
+// Mini Fig. 5: sampling must not meaningfully hurt accuracy in the regime
+// the paper identifies (tau >= 2^-10 effective rate).
+TEST(Integration, SamplingPreservesAccuracyMiniFig5) {
+  constexpr std::uint64_t window = 40000;
+  auto trace = make_trace(trace_kind::backbone, 160000, /*seed=*/2);
+
+  auto rmse_for_tau = [&](double tau) {
+    memento_sketch<std::uint64_t> m(window, 512, tau, /*seed=*/7);
+    exact_window<std::uint64_t> exact(m.window_size());
+    double sq_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto key = flow_id(trace[i]);
+      m.update(key);
+      exact.add(key);
+      if (i % 37 == 0 && i > window) {
+        const double err = m.query(key) - static_cast<double>(exact.query(key));
+        sq_sum += err * err;
+        ++n;
+      }
+    }
+    return std::sqrt(sq_sum / static_cast<double>(n));
+  };
+
+  const double rmse_full = rmse_for_tau(1.0);
+  const double rmse_16 = rmse_for_tau(1.0 / 16);
+  // tau = 1/16 on a 40k window is comfortably above the accuracy cliff:
+  // error should grow by less than ~4x of the full-update error.
+  EXPECT_LT(rmse_16, 4.0 * rmse_full + 50.0)
+      << "full=" << rmse_full << " tau16=" << rmse_16;
+}
+
+// Mini Fig. 8: window algorithms beat the Interval method on freshness
+// (error against the true *window* counts, measured mid-interval).
+TEST(Integration, WindowBeatsIntervalOnWindowErrorMiniFig8) {
+  constexpr std::uint64_t window = 20000;
+  // A regime shift makes interval staleness visible: the hot subnet changes
+  // halfway through the second interval.
+  std::vector<packet> trace;
+  xoshiro256 rng(4);
+  trace_generator bg(trace_kind::backbone, 5);
+  for (int i = 0; i < 90000; ++i) {
+    const bool second_regime = i > 50000;
+    if (rng.uniform01() < 0.3) {
+      const std::uint32_t subnet = second_regime ? 0x14000000u : 0x0A000000u;
+      trace.push_back({subnet | static_cast<std::uint32_t>(rng.bounded(1 << 24)), 1});
+    } else {
+      trace.push_back(bg.next());
+    }
+  }
+
+  h_memento<source_hierarchy> window_alg(window, 2000, 1.0, 1e-3);
+  mst<source_hierarchy> interval_alg(400);
+  exact_hhh<source_hierarchy> exact(window);
+
+  const auto hot_new = prefix1d::make_key(0x14000000u, 3);
+  double err_window = 0.0;
+  double err_interval = 0.0;
+  std::size_t checks = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i % window == 0) interval_alg.reset();  // the Interval method's reset
+    window_alg.update(trace[i]);
+    interval_alg.update(trace[i]);
+    exact.update(trace[i]);
+    if (i > 55000 && i % 101 == 0) {
+      const double truth = static_cast<double>(exact.query(hot_new));
+      err_window += std::abs(window_alg.query(hot_new) - truth);
+      err_interval += std::abs(interval_alg.query(hot_new) - truth);
+      ++checks;
+    }
+  }
+  ASSERT_GT(checks, 100u);
+  EXPECT_LT(err_window / static_cast<double>(checks),
+            err_interval / static_cast<double>(checks))
+      << "window algorithm must track the regime change more accurately";
+}
+
+// Mini Fig. 9: at the same byte budget, Batch beats Aggregation on
+// network-wide estimate error.
+TEST(Integration, BatchBeatsAggregationMiniFig9) {
+  constexpr std::uint64_t window = 30000;
+  auto trace = make_trace(trace_kind::backbone, 150000, /*seed=*/8);
+  exact_hhh<source_hierarchy> exact(window);
+
+  auto run_method = [&](netwide::comm_method method) {
+    netwide::harness_config cfg;
+    cfg.method = method;
+    cfg.num_points = 10;
+    cfg.window = window;
+    cfg.budget = netwide::budget_model{1.0, 64.0, 4.0};
+    cfg.counters = 2048;
+    netwide::netwide_harness<source_hierarchy> harness(cfg);
+
+    exact_hhh<source_hierarchy> truth(window);
+    double abs_err = 0.0;
+    std::size_t checks = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      harness.ingest(trace[i]);
+      truth.update(trace[i]);
+      if (i > 2 * window && i % 211 == 0) {
+        const auto key = source_hierarchy::key_at(trace[i], 3);
+        abs_err += std::abs(harness.estimate(key) - static_cast<double>(truth.query(key)));
+        ++checks;
+      }
+    }
+    return abs_err / static_cast<double>(checks);
+  };
+
+  const double batch_err = run_method(netwide::comm_method::batch);
+  const double agg_err = run_method(netwide::comm_method::aggregation);
+  EXPECT_LT(batch_err, agg_err)
+      << "batch=" << batch_err << " aggregation=" << agg_err;
+}
+
+// Mini Fig. 10: Batch detects flooding subnets no later than Aggregation,
+// and both eventually block all attackers.
+TEST(Integration, BatchDetectsFloodFasterThanAggregationMiniFig10) {
+  auto base = make_trace(trace_kind::backbone, 60000, /*seed=*/14);
+  flood_config fc;
+  fc.num_subnets = 8;
+  fc.flood_probability = 0.7;
+  fc.start_range = 10000;
+  const auto flood = inject_flood(base, fc);
+
+  auto run_method = [&](netwide::comm_method method) {
+    lb::cluster_config cfg;
+    cfg.method = method;
+    cfg.window = 40000;
+    cfg.counters = 1024;
+    cfg.theta = 0.02;
+    cfg.detect_stride = 250;
+    lb::cluster cluster(cfg);
+    std::uint64_t missed = 0;
+    for (const auto& lp : flood.packets) {
+      const auto v = cluster.handle(lb::request_from_packet(lp.pkt));
+      missed += lp.is_attack && v == lb::verdict::forwarded;
+    }
+    return missed;
+  };
+
+  const auto batch_missed = run_method(netwide::comm_method::batch);
+  const auto agg_missed = run_method(netwide::comm_method::aggregation);
+  EXPECT_LT(batch_missed, agg_missed)
+      << "batch=" << batch_missed << " aggregation=" << agg_missed;
+}
+
+// The WCSS == Memento(tau=1) identity, verified behaviorally end to end.
+TEST(Integration, WcssIdentityOnRealTrace) {
+  auto trace = make_trace(trace_kind::datacenter, 50000, /*seed=*/19);
+  memento_sketch<std::uint64_t> a(10000, 256, 1.0, /*seed=*/1);
+  auto b = make_wcss<std::uint64_t>(10000, 256);
+  for (const auto& p : trace) {
+    a.update(flow_id(p));
+    b.update(flow_id(p));
+  }
+  for (std::size_t i = 0; i < trace.size(); i += 503) {
+    const auto key = flow_id(trace[i]);
+    ASSERT_DOUBLE_EQ(a.query(key), b.query(key));
+  }
+}
+
+// H-Memento against the windowed Baseline: same trace, similar HHH sets at
+// tau = 1 (both are WCSS-grade window algorithms; Fig. 8's accuracy claim).
+TEST(Integration, HMementoMatchesBaselineSetsAtTauOne) {
+  constexpr std::uint64_t window = 20000;
+  auto trace = make_trace(trace_kind::datacenter, 80000, /*seed=*/23);
+  h_memento<source_hierarchy> hm(window, 1000 * 5, 1.0, 1e-3);
+  baseline_window_mst<source_hierarchy> baseline(window, 1000 * 5);
+  exact_hhh<source_hierarchy> exact(window);
+  for (const auto& p : trace) {
+    hm.update(p);
+    baseline.update(p);
+    exact.update(p);
+  }
+  std::unordered_set<std::uint64_t> hm_set;
+  for (const auto& e : hm.output(0.05)) hm_set.insert(e.key);
+  std::unordered_set<std::uint64_t> baseline_set;
+  for (const auto& e : baseline.output(0.05)) baseline_set.insert(e.key);
+  // Both must cover the exact HHH set.
+  for (const auto& truth : exact.output(0.05)) {
+    EXPECT_TRUE(hm_set.count(truth.key));
+    EXPECT_TRUE(baseline_set.count(truth.key));
+  }
+}
+
+}  // namespace
+}  // namespace memento

@@ -1,0 +1,193 @@
+// Tests for the load-balancer tier: ACL semantics, request processing, and
+// the cluster's controller-driven mitigation loop.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lb/acl.hpp"
+#include "lb/cluster.hpp"
+#include "lb/http.hpp"
+#include "lb/load_balancer.hpp"
+#include "trace/flood_injector.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace memento::lb {
+namespace {
+
+constexpr std::uint32_t ip(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+// --- ACL ------------------------------------------------------------------------
+
+TEST(Acl, DefaultIsAllow) {
+  acl table;
+  EXPECT_EQ(table.lookup(ip(1, 2, 3, 4)), acl_action::allow);
+}
+
+TEST(Acl, SubnetRuleCoversAllHosts) {
+  acl table;
+  table.set_rule(ip(10, 0, 0, 0), 3, acl_action::deny);  // 10.0.0.0/8
+  EXPECT_EQ(table.lookup(ip(10, 1, 2, 3)), acl_action::deny);
+  EXPECT_EQ(table.lookup(ip(10, 255, 255, 255)), acl_action::deny);
+  EXPECT_EQ(table.lookup(ip(11, 1, 2, 3)), acl_action::allow);
+}
+
+TEST(Acl, MostSpecificRuleWins) {
+  acl table;
+  table.set_rule(ip(10, 0, 0, 0), 3, acl_action::deny);     // /8 deny
+  table.set_rule(ip(10, 1, 0, 0), 2, acl_action::allow);    // /16 carve-out
+  table.set_rule(ip(10, 1, 2, 3), 0, acl_action::tarpit);   // /32 override
+  EXPECT_EQ(table.lookup(ip(10, 9, 9, 9)), acl_action::deny);
+  EXPECT_EQ(table.lookup(ip(10, 1, 9, 9)), acl_action::allow);
+  EXPECT_EQ(table.lookup(ip(10, 1, 2, 3)), acl_action::tarpit);
+}
+
+TEST(Acl, ClearRuleRestoresDefault) {
+  acl table;
+  table.set_rule(ip(10, 0, 0, 0), 3, acl_action::deny);
+  table.clear_rule(ip(10, 0, 0, 0), 3);
+  EXPECT_EQ(table.lookup(ip(10, 1, 2, 3)), acl_action::allow);
+  table.set_rule(ip(10, 0, 0, 0), 3, acl_action::deny);
+  table.clear();
+  EXPECT_EQ(table.lookup(ip(10, 1, 2, 3)), acl_action::allow);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(Acl, PrefixKeyedRuleInstallation) {
+  acl table;
+  table.set_rule(prefix1d::make_key(ip(20, 0, 0, 0), 3), acl_action::tarpit);
+  EXPECT_EQ(table.lookup(ip(20, 5, 5, 5)), acl_action::tarpit);
+}
+
+// --- load balancer -----------------------------------------------------------------
+
+TEST(LoadBalancer, RejectsZeroBackends) {
+  EXPECT_THROW(load_balancer(0, 0), std::invalid_argument);
+}
+
+TEST(LoadBalancer, RoundRobinSpreadsLoad) {
+  load_balancer balancer(0, 4);
+  for (int i = 0; i < 400; ++i) {
+    (void)balancer.process(request_from_packet({static_cast<std::uint32_t>(i), 0}));
+  }
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(balancer.backend_load(b), 100u);
+  EXPECT_EQ(balancer.stats().forwarded, 400u);
+}
+
+TEST(LoadBalancer, AclVerdictsEnforced) {
+  load_balancer balancer(0, 2);
+  balancer.access_list().set_rule(ip(10, 0, 0, 0), 3, acl_action::deny);
+  balancer.access_list().set_rule(ip(20, 0, 0, 0), 3, acl_action::tarpit);
+  EXPECT_EQ(balancer.process(request_from_packet({ip(10, 1, 1, 1), 0})), verdict::denied);
+  EXPECT_EQ(balancer.process(request_from_packet({ip(20, 1, 1, 1), 0})), verdict::tarpitted);
+  EXPECT_EQ(balancer.process(request_from_packet({ip(30, 1, 1, 1), 0})), verdict::forwarded);
+  EXPECT_EQ(balancer.stats().denied, 1u);
+  EXPECT_EQ(balancer.stats().tarpitted, 1u);
+  EXPECT_EQ(balancer.stats().forwarded, 1u);
+  EXPECT_EQ(balancer.stats().received, 3u);
+}
+
+TEST(LoadBalancer, MeasurementHookSeesBlockedIngress) {
+  // Mitigation must not blind the measurement (file comment in
+  // load_balancer.hpp): the hook fires for denied requests too.
+  load_balancer balancer(0, 1);
+  balancer.access_list().set_rule(ip(10, 0, 0, 0), 3, acl_action::deny);
+  int seen = 0;
+  balancer.set_measurement_hook([&](const http_request&) { ++seen; });
+  (void)balancer.process(request_from_packet({ip(10, 1, 1, 1), 0}));
+  (void)balancer.process(request_from_packet({ip(30, 1, 1, 1), 0}));
+  EXPECT_EQ(seen, 2);
+}
+
+// --- cluster -----------------------------------------------------------------------
+
+TEST(Cluster, TotalsAggregateAcrossBalancers) {
+  cluster_config cfg;
+  cfg.num_balancers = 4;
+  cfg.window = 5000;
+  cfg.counters = 256;
+  cfg.detect_stride = 1u << 30;  // never detect: pure routing test
+  cluster c(cfg);
+  auto trace = make_trace(trace_kind::edge, 2000);
+  for (const auto& p : trace) (void)c.handle(request_from_packet(p));
+  const auto totals = c.total_stats();
+  EXPECT_EQ(totals.received, 2000u);
+  EXPECT_EQ(totals.forwarded, 2000u);
+  EXPECT_EQ(c.requests(), 2000u);
+}
+
+TEST(Cluster, SameClientAlwaysSameBalancer) {
+  cluster_config cfg;
+  cfg.num_balancers = 8;
+  cfg.window = 5000;
+  cfg.counters = 256;
+  cfg.detect_stride = 1u << 30;
+  cluster c(cfg);
+  // One client, many requests: exactly one balancer must have received them.
+  for (int i = 0; i < 100; ++i) {
+    (void)c.handle(request_from_packet({ip(9, 9, 9, 9), static_cast<std::uint32_t>(i)}));
+  }
+  int nonzero = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) nonzero += c.balancer(i).stats().received > 0;
+  EXPECT_EQ(nonzero, 1);
+}
+
+TEST(Cluster, FloodSubnetsGetBlocked) {
+  cluster_config cfg;
+  cfg.num_balancers = 10;
+  cfg.window = 50000;
+  cfg.counters = 1024;
+  cfg.theta = 0.03;
+  cfg.detect_stride = 500;
+  cluster c(cfg);
+
+  auto base = make_trace(trace_kind::backbone, 60000, /*seed=*/3);
+  flood_config fc;
+  fc.num_subnets = 5;
+  fc.flood_probability = 0.7;
+  fc.start_range = 10000;
+  const auto flood = inject_flood(base, fc);
+
+  for (const auto& lp : flood.packets) (void)c.handle(request_from_packet(lp.pkt));
+
+  // Every true attacking /8 must be blocked by the end (5 subnets at ~14%
+  // of traffic each, far above theta = 3%).
+  for (const auto subnet : flood.subnets) {
+    EXPECT_TRUE(c.is_blocked(prefix1d::make_key(subnet, 3)))
+        << "unblocked flood subnet " << format_ipv4(subnet);
+  }
+  const auto totals = c.total_stats();
+  EXPECT_GT(totals.denied, 0u);
+}
+
+TEST(Cluster, MitigationReducesForwardedAttackTraffic) {
+  auto base = make_trace(trace_kind::backbone, 40000, /*seed=*/5);
+  flood_config fc;
+  fc.num_subnets = 3;
+  fc.start_range = 5000;
+  const auto flood = inject_flood(base, fc);
+
+  auto run = [&](std::size_t detect_stride) {
+    cluster_config cfg;
+    cfg.window = 30000;
+    cfg.counters = 1024;
+    cfg.theta = 0.05;
+    cfg.detect_stride = detect_stride;
+    cluster c(cfg);
+    std::uint64_t attack_forwarded = 0;
+    for (const auto& lp : flood.packets) {
+      const auto v = c.handle(request_from_packet(lp.pkt));
+      attack_forwarded += lp.is_attack && v == verdict::forwarded;
+    }
+    return attack_forwarded;
+  };
+
+  const auto with_detection = run(500);
+  const auto without_detection = run(1u << 30);
+  EXPECT_LT(with_detection, without_detection / 5)
+      << "mitigation must stop the vast majority of attack requests";
+}
+
+}  // namespace
+}  // namespace memento::lb

@@ -1,0 +1,121 @@
+// Tests for the subnet token-bucket rate limiter (the "rate-limit traffic
+// from entire sub-networks" capability of the paper's HAProxy extension).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lb/rate_limiter.hpp"
+
+namespace memento::lb {
+namespace {
+
+constexpr std::uint32_t ip(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+TEST(RateLimiter, UnlimitedClientsAlwaysPass) {
+  rate_limiter limiter;
+  for (int i = 0; i < 1000; ++i) {
+    limiter.tick();
+    EXPECT_TRUE(limiter.admit(ip(1, 2, 3, 4)));
+  }
+}
+
+TEST(RateLimiter, BurstThenBlock) {
+  rate_limiter limiter;
+  // /8 limited to 10 requests per 1000 observed, burst 5.
+  limiter.set_limit(ip(10, 0, 0, 0), 3, /*tokens_per_kilorequest=*/10.0, /*burst=*/5.0);
+  int admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    limiter.tick();
+    admitted += limiter.admit(ip(10, 1, 2, 3));
+  }
+  // Burst of 5 plus ~0.2 refilled during the loop.
+  EXPECT_GE(admitted, 5);
+  EXPECT_LE(admitted, 6);
+}
+
+TEST(RateLimiter, RefillsAtConfiguredRate) {
+  rate_limiter limiter;
+  limiter.set_limit(ip(10, 0, 0, 0), 3, /*tokens_per_kilorequest=*/100.0, /*burst=*/100.0);
+  // Drain the burst.
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(limiter.admit(ip(10, 5, 5, 5)));
+  ASSERT_FALSE(limiter.admit(ip(10, 5, 5, 5)));
+  // 1000 observed requests refill 100 tokens.
+  for (int i = 0; i < 1000; ++i) limiter.tick();
+  int admitted = 0;
+  for (int i = 0; i < 150; ++i) admitted += limiter.admit(ip(10, 5, 5, 5));
+  EXPECT_GE(admitted, 99);
+  EXPECT_LE(admitted, 101);
+}
+
+TEST(RateLimiter, BurstCapsAccumulation) {
+  rate_limiter limiter;
+  limiter.set_limit(ip(20, 0, 0, 0), 3, /*tokens_per_kilorequest=*/1000.0, /*burst=*/3.0);
+  // A long quiet period must not bank more than the burst.
+  for (int i = 0; i < 100000; ++i) limiter.tick();
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) admitted += limiter.admit(ip(20, 1, 1, 1));
+  EXPECT_EQ(admitted, 3);
+}
+
+TEST(RateLimiter, MostSpecificLimitWins) {
+  rate_limiter limiter;
+  limiter.set_limit(ip(10, 0, 0, 0), 3, 1000.0, 1000.0);  // generous /8
+  limiter.set_limit(ip(10, 1, 0, 0), 2, 10.0, 1.0);       // tight /16 inside it
+  // Client in the tight /16: limited by it, not the /8.
+  ASSERT_TRUE(limiter.admit(ip(10, 1, 9, 9)));
+  EXPECT_FALSE(limiter.admit(ip(10, 1, 9, 9)));
+  // Sibling outside the /16 rides the generous /8 bucket.
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(limiter.admit(ip(10, 2, 9, 9)));
+}
+
+TEST(RateLimiter, SubnetsHaveIndependentBuckets) {
+  rate_limiter limiter;
+  limiter.set_limit(ip(10, 0, 0, 0), 3, 10.0, 2.0);
+  limiter.set_limit(ip(20, 0, 0, 0), 3, 10.0, 2.0);
+  // Draining one subnet must not affect the other.
+  EXPECT_TRUE(limiter.admit(ip(10, 1, 1, 1)));
+  EXPECT_TRUE(limiter.admit(ip(10, 1, 1, 1)));
+  EXPECT_FALSE(limiter.admit(ip(10, 1, 1, 1)));
+  EXPECT_TRUE(limiter.admit(ip(20, 1, 1, 1)));
+  EXPECT_TRUE(limiter.admit(ip(20, 1, 1, 1)));
+}
+
+TEST(RateLimiter, ClearRestoresUnlimited) {
+  rate_limiter limiter;
+  limiter.set_limit(ip(10, 0, 0, 0), 3, 1.0, 1.0);
+  ASSERT_TRUE(limiter.admit(ip(10, 1, 1, 1)));
+  ASSERT_FALSE(limiter.admit(ip(10, 1, 1, 1)));
+  limiter.clear_limit(ip(10, 0, 0, 0), 3);
+  EXPECT_TRUE(limiter.admit(ip(10, 1, 1, 1)));
+  limiter.set_limit(ip(10, 0, 0, 0), 3, 1.0, 1.0);
+  limiter.clear();
+  EXPECT_EQ(limiter.size(), 0u);
+  EXPECT_TRUE(limiter.admit(ip(10, 1, 1, 1)));
+}
+
+TEST(RateLimiter, TokensDiagnostic) {
+  rate_limiter limiter;
+  EXPECT_EQ(limiter.tokens(ip(10, 0, 0, 0), 3), -1.0);
+  limiter.set_limit(ip(10, 0, 0, 0), 3, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(limiter.tokens(ip(10, 0, 0, 0), 3), 5.0);
+  ASSERT_TRUE(limiter.admit(ip(10, 1, 1, 1)));
+  EXPECT_DOUBLE_EQ(limiter.tokens(ip(10, 0, 0, 0), 3), 4.0);
+}
+
+TEST(RateLimiter, ApproximatesConfiguredRateLongRun) {
+  rate_limiter limiter;
+  limiter.set_limit(ip(10, 0, 0, 0), 3, /*tokens_per_kilorequest=*/50.0, /*burst=*/10.0);
+  int admitted = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    limiter.tick();
+    admitted += limiter.admit(ip(10, 1, 1, 1));
+  }
+  // 50 per 1000 ticks -> ~5000 admissions (+burst).
+  EXPECT_NEAR(admitted, n * 50 / 1000, 50);
+}
+
+}  // namespace
+}  // namespace memento::lb

@@ -1,0 +1,62 @@
+// Tests for the console-table formatter used by every figure harness.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace memento {
+namespace {
+
+TEST(ConsoleTable, HeaderAndRule) {
+  console_table table({"a", "bb"}, 6);
+  std::ostringstream out;
+  table.print_header(out);
+  EXPECT_EQ(out.str(), "     a    bb\n------------\n");
+}
+
+TEST(ConsoleTable, RightAlignedCells) {
+  console_table table({"x"}, 8);
+  std::ostringstream out;
+  table.cell(42).end_row(out);
+  EXPECT_EQ(out.str(), "      42\n");
+}
+
+TEST(ConsoleTable, FloatingPointPrecision) {
+  console_table table({"v"}, 10);
+  std::ostringstream out;
+  table.cell(3.14159, 2).end_row(out);
+  EXPECT_EQ(out.str(), "      3.14\n");
+}
+
+TEST(ConsoleTable, DefaultDoublePrecisionIsFour) {
+  console_table table({"v"}, 10);
+  std::ostringstream out;
+  table.cell(1.5).end_row(out);
+  EXPECT_EQ(out.str(), "    1.5000\n");
+}
+
+TEST(ConsoleTable, StringsPassThrough) {
+  console_table table({"s"}, 8);
+  std::ostringstream out;
+  table.cell(std::string("hi")).end_row(out);
+  EXPECT_EQ(out.str(), "      hi\n");
+}
+
+TEST(ConsoleTable, RowClearsAfterFlush) {
+  console_table table({"a", "b"}, 4);
+  std::ostringstream out;
+  table.cell(1).cell(2).end_row(out);
+  table.cell(3).cell(4).end_row(out);
+  EXPECT_EQ(out.str(), "   1   2\n   3   4\n");
+}
+
+TEST(ConsoleTable, ChainedCellsBuildOneRow) {
+  console_table table({"a", "b", "c"}, 5);
+  std::ostringstream out;
+  table.cell("x").cell(7).cell(0.5, 1).end_row(out);
+  EXPECT_EQ(out.str(), "    x    7  0.5\n");
+}
+
+}  // namespace
+}  // namespace memento

@@ -1,0 +1,100 @@
+// Tests for trace persistence: address parsing, line parsing, stream round
+// trips, and tolerance of malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_generator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace memento {
+namespace {
+
+TEST(ParseIpv4, DottedQuad) {
+  EXPECT_EQ(parse_ipv4("1.2.3.4"), 0x01020304u);
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xffffffffu);
+  EXPECT_EQ(parse_ipv4("181.7.20.6"), (181u << 24) | (7u << 16) | (20u << 8) | 6u);
+}
+
+TEST(ParseIpv4, RawDecimal) {
+  EXPECT_EQ(parse_ipv4("0"), 0u);
+  EXPECT_EQ(parse_ipv4("4294967295"), 0xffffffffu);
+  EXPECT_EQ(parse_ipv4("16909060"), 0x01020304u);
+}
+
+TEST(ParseIpv4, RejectsMalformed) {
+  EXPECT_FALSE(parse_ipv4(""));
+  EXPECT_FALSE(parse_ipv4("1.2.3"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4.5"));
+  EXPECT_FALSE(parse_ipv4("256.1.1.1"));
+  EXPECT_FALSE(parse_ipv4("1.2.3."));
+  EXPECT_FALSE(parse_ipv4(".1.2.3"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4x"));
+  EXPECT_FALSE(parse_ipv4("4294967296"));   // > 2^32 - 1
+  EXPECT_FALSE(parse_ipv4("a.b.c.d"));
+  EXPECT_FALSE(parse_ipv4("-1"));
+}
+
+TEST(ParseTraceLine, AcceptsBothForms) {
+  const auto a = parse_trace_line("1.2.3.4,5.6.7.8");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->src, 0x01020304u);
+  EXPECT_EQ(a->dst, 0x05060708u);
+
+  const auto b = parse_trace_line("  16909060 , 84281096  ");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->src, 0x01020304u);
+  EXPECT_EQ(b->dst, 0x05060708u);
+}
+
+TEST(ParseTraceLine, RejectsMalformed) {
+  EXPECT_FALSE(parse_trace_line(""));
+  EXPECT_FALSE(parse_trace_line("1.2.3.4"));
+  EXPECT_FALSE(parse_trace_line("1.2.3.4,"));
+  EXPECT_FALSE(parse_trace_line(",5.6.7.8"));
+  EXPECT_FALSE(parse_trace_line("1.2.3.4;5.6.7.8"));
+}
+
+TEST(TraceIo, StreamRoundTripIsExact) {
+  const auto original = make_trace(trace_kind::datacenter, 2000, /*seed=*/5);
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const auto result = read_trace(buffer);
+  EXPECT_EQ(result.malformed_lines, 0u);
+  ASSERT_EQ(result.packets.size(), original.size());
+  EXPECT_TRUE(std::equal(result.packets.begin(), result.packets.end(), original.begin()));
+}
+
+TEST(TraceIo, SkipsCommentsBlanksAndGarbage) {
+  std::stringstream buffer;
+  buffer << "# header comment\n"
+         << "\n"
+         << "1.2.3.4,5.6.7.8\n"
+         << "not a packet\n"
+         << "9.9.9.9,8.8.8.8\n"
+         << "300.1.1.1,1.1.1.1\n";
+  const auto result = read_trace(buffer);
+  EXPECT_EQ(result.packets.size(), 2u);
+  EXPECT_EQ(result.malformed_lines, 2u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original = make_trace(trace_kind::edge, 500, /*seed=*/9);
+  const std::string path = ::testing::TempDir() + "/memento_trace_io_test.csv";
+  ASSERT_TRUE(write_trace_file(path, original));
+  const auto result = read_trace_file(path);
+  EXPECT_EQ(result.malformed_lines, 0u);
+  ASSERT_EQ(result.packets.size(), original.size());
+  EXPECT_TRUE(std::equal(result.packets.begin(), result.packets.end(), original.begin()));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileYieldsEmpty) {
+  const auto result = read_trace_file("/nonexistent/path/to/trace.csv");
+  EXPECT_TRUE(result.packets.empty());
+  EXPECT_EQ(result.malformed_lines, 0u);
+}
+
+}  // namespace
+}  // namespace memento

@@ -1,0 +1,280 @@
+// Tests for the trace layer: Zipf sampling, the three surrogate traces, the
+// flood injector (Section 6.4 construction), and trace statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/flood_injector.hpp"
+#include "trace/packet.hpp"
+#include "trace/trace_generator.hpp"
+#include "trace/trace_stats.hpp"
+#include "trace/zipf.hpp"
+
+namespace memento {
+namespace {
+
+TEST(Packet, FlowIdPacksBothAddresses) {
+  const packet p{0x01020304u, 0xa0b0c0d0u};
+  EXPECT_EQ(flow_id(p), 0x01020304a0b0c0d0ull);
+  EXPECT_EQ(flow_id(packet{}), 0u);
+}
+
+TEST(Packet, FormatIpv4) {
+  EXPECT_EQ(format_ipv4(0x01020304u), "1.2.3.4");
+  EXPECT_EQ(format_ipv4(0u), "0.0.0.0");
+  EXPECT_EQ(format_ipv4(0xffffffffu), "255.255.255.255");
+}
+
+TEST(Packet, HashSpreads) {
+  std::unordered_set<std::size_t> hashes;
+  std::hash<packet> h;
+  for (std::uint32_t i = 0; i < 1000; ++i) hashes.insert(h(packet{i, i * 3}));
+  EXPECT_GT(hashes.size(), 995u);  // near-perfect spread on distinct inputs
+}
+
+// --- zipf_sampler ------------------------------------------------------------
+
+TEST(Zipf, PmfSumsToOne) {
+  zipf_sampler z(1000, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < z.num_ranks(); ++r) total += z.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroIsMostFrequent) {
+  zipf_sampler z(1000, 1.2);
+  for (std::size_t r = 1; r < 20; ++r) EXPECT_GT(z.pmf(0), z.pmf(r));
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  zipf_sampler z(100, 0.0);
+  for (std::size_t r = 0; r < 100; ++r) EXPECT_NEAR(z.pmf(r), 0.01, 1e-9);
+}
+
+TEST(Zipf, HigherAlphaIsMoreSkewed) {
+  zipf_sampler flat(1000, 0.8);
+  zipf_sampler steep(1000, 1.4);
+  EXPECT_GT(steep.pmf(0), flat.pmf(0));
+  EXPECT_LT(steep.pmf(900), flat.pmf(900));
+}
+
+TEST(Zipf, EmpiricalTopRankFrequencyMatchesPmf) {
+  zipf_sampler z(1 << 12, 1.0);
+  xoshiro256 rng(17);
+  constexpr int n = 300000;
+  int rank0 = 0;
+  for (int i = 0; i < n; ++i) rank0 += z.sample(rng) == 0;
+  EXPECT_NEAR(static_cast<double>(rank0) / n, z.pmf(0), 0.01);
+}
+
+TEST(Zipf, SampleAlwaysInRange) {
+  zipf_sampler z(37, 1.1);
+  xoshiro256 rng(23);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(z.sample(rng), 37u);
+}
+
+TEST(Zipf, SingleRankDegenerates) {
+  zipf_sampler z(1, 2.0);
+  xoshiro256 rng(1);
+  EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_NEAR(z.pmf(0), 1.0, 1e-12);
+  EXPECT_EQ(z.pmf(5), 0.0);
+}
+
+// --- trace generators ---------------------------------------------------------
+
+TEST(TraceGenerator, DeterministicBySeed) {
+  auto a = make_trace(trace_kind::backbone, 5000, 99);
+  auto b = make_trace(trace_kind::backbone, 5000, 99);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceGenerator, SeedsChangeTrace) {
+  auto a = make_trace(trace_kind::backbone, 5000, 1);
+  auto b = make_trace(trace_kind::backbone, 5000, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceGenerator, PresetsHaveDocumentedSkewOrdering) {
+  // Datacenter is the most skewed (alpha 1.4), edge the flattest (0.8):
+  // the top-100 share must order accordingly (DESIGN.md substitution table).
+  constexpr std::size_t n = 150000;
+  const auto dc = summarize(make_trace(trace_kind::datacenter, n));
+  const auto bb = summarize(make_trace(trace_kind::backbone, n));
+  const auto eg = summarize(make_trace(trace_kind::edge, n));
+  EXPECT_GT(dc.top_hundred_share, bb.top_hundred_share);
+  EXPECT_GT(bb.top_hundred_share, eg.top_hundred_share);
+  // Flow-count regimes: datacenter has far fewer distinct flows.
+  EXPECT_LT(dc.distinct_flows, eg.distinct_flows);
+  EXPECT_LT(dc.distinct_flows, bb.distinct_flows);
+}
+
+TEST(TraceGenerator, SameRankMapsToSameAddresses) {
+  trace_generator g1(trace_kind::datacenter, 5);
+  trace_generator g2(trace_kind::datacenter, 5);
+  for (int i = 0; i < 1000; ++i) {
+    const packet a = g1.next();
+    const packet b = g2.next();
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(TraceGenerator, SrcAndDstDiffer) {
+  auto t = make_trace(trace_kind::backbone, 1000);
+  int same = 0;
+  for (const auto& p : t) same += p.src == p.dst;
+  EXPECT_LT(same, 5);
+}
+
+TEST(TraceStats, CountsExactly) {
+  std::vector<packet> t = {{1, 9}, {1, 9}, {1, 9}, {2, 9}, {3, 9}};
+  const auto s = summarize(t);
+  EXPECT_EQ(s.packets, 5u);
+  EXPECT_EQ(s.distinct_flows, 3u);
+  EXPECT_EQ(s.distinct_sources, 3u);
+  EXPECT_EQ(s.top_flow_count, 3u);
+  EXPECT_NEAR(s.top_hundred_share, 1.0, 1e-12);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const auto s = summarize(std::span<const packet>{});
+  EXPECT_EQ(s.packets, 0u);
+  EXPECT_EQ(s.top_flow_count, 0u);
+  EXPECT_EQ(s.top_hundred_share, 0.0);
+}
+
+// --- flood injector -----------------------------------------------------------
+
+TEST(FloodInjector, PrefixOfTraceIsUnmodified) {
+  auto base = make_trace(trace_kind::edge, 20000);
+  flood_config cfg;
+  cfg.start_range = 10000;
+  const auto flood = inject_flood(base, cfg);
+  ASSERT_GE(flood.packets.size(), flood.flood_start);
+  for (std::size_t i = 0; i < flood.flood_start; ++i) {
+    ASSERT_EQ(flood.packets[i].pkt, base[i]);
+    ASSERT_FALSE(flood.packets[i].is_attack);
+  }
+}
+
+TEST(FloodInjector, SelectsRequestedDistinctSubnets) {
+  auto base = make_trace(trace_kind::edge, 5000);
+  flood_config cfg;
+  cfg.num_subnets = 50;
+  const auto flood = inject_flood(base, cfg);
+  EXPECT_EQ(flood.subnets.size(), 50u);
+  std::unordered_set<std::uint32_t> distinct(flood.subnets.begin(), flood.subnets.end());
+  EXPECT_EQ(distinct.size(), 50u);
+  for (const auto s : flood.subnets) EXPECT_EQ(s & 0x00ffffffu, 0u) << "must be /8 prefixes";
+}
+
+TEST(FloodInjector, AttackShareNearConfiguredProbability) {
+  auto base = make_trace(trace_kind::edge, 100000);
+  flood_config cfg;
+  cfg.start_range = 1;  // flood from (almost) the beginning
+  cfg.flood_probability = 0.7;
+  const auto flood = inject_flood(base, cfg);
+  std::size_t attacks = 0;
+  for (const auto& lp : flood.packets) attacks += lp.is_attack;
+  const double share = static_cast<double>(attacks) / static_cast<double>(flood.packets.size());
+  EXPECT_NEAR(share, 0.7, 0.01);
+}
+
+TEST(FloodInjector, AttackPacketsComeFromChosenSubnets) {
+  auto base = make_trace(trace_kind::edge, 30000);
+  const auto flood = inject_flood(base);
+  for (const auto& lp : flood.packets) {
+    if (!lp.is_attack) continue;
+    ASSERT_LT(lp.attack_subnet, flood.subnets.size());
+    ASSERT_EQ(lp.pkt.src & 0xff000000u, flood.subnets[lp.attack_subnet]);
+  }
+}
+
+TEST(FloodInjector, AllOriginalPacketsSurviveInOrder) {
+  auto base = make_trace(trace_kind::edge, 15000);
+  const auto flood = inject_flood(base);
+  std::vector<packet> originals;
+  for (const auto& lp : flood.packets) {
+    if (!lp.is_attack) originals.push_back(lp.pkt);
+  }
+  ASSERT_EQ(originals.size(), base.size());
+  EXPECT_TRUE(std::equal(originals.begin(), originals.end(), base.begin()));
+}
+
+TEST(FloodInjector, DeterministicBySeed) {
+  auto base = make_trace(trace_kind::edge, 10000);
+  const auto a = inject_flood(base);
+  const auto b = inject_flood(base);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  EXPECT_EQ(a.flood_start, b.flood_start);
+  EXPECT_EQ(a.subnets, b.subnets);
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    ASSERT_EQ(a.packets[i].pkt, b.packets[i].pkt);
+  }
+}
+
+TEST(FloodInjector, ZeroProbabilityMeansNoAttacks) {
+  auto base = make_trace(trace_kind::edge, 5000);
+  flood_config cfg;
+  cfg.flood_probability = 0.0;
+  const auto flood = inject_flood(base, cfg);
+  EXPECT_EQ(flood.packets.size(), base.size());
+  for (const auto& lp : flood.packets) EXPECT_FALSE(lp.is_attack);
+}
+
+}  // namespace
+}  // namespace memento
+
+namespace memento {
+namespace {
+
+TEST(TraceChurn, DisabledByDefaultKeepsTraceStationary) {
+  trace_config cfg = trace_config::preset(trace_kind::datacenter);
+  ASSERT_EQ(cfg.churn_stride, 0u);
+  trace_generator a(cfg);
+  trace_generator b(cfg);
+  // Without churn, the flow population never rotates: both generators
+  // produce identical packets forever.
+  for (int i = 0; i < 20000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(TraceChurn, RotatesFlowPopulationOverTime) {
+  trace_config cfg = trace_config::preset(trace_kind::datacenter, 3);
+  cfg.churn_stride = 500;
+  trace_generator gen(cfg);
+  // Collect the source-address population of an early and a late slice.
+  std::unordered_set<std::uint32_t> early;
+  for (int i = 0; i < 20000; ++i) early.insert(gen.next().src);
+  for (int i = 0; i < 400000; ++i) (void)gen.next();  // many cohort rotations
+  std::unordered_set<std::uint32_t> late;
+  for (int i = 0; i < 20000; ++i) late.insert(gen.next().src);
+  std::size_t shared = 0;
+  for (const auto s : late) shared += early.count(s);
+  // Most of the population must have been re-identified.
+  EXPECT_LT(static_cast<double>(shared) / static_cast<double>(late.size()), 0.5)
+      << "churn did not rotate the flow population";
+}
+
+TEST(TraceChurn, DeterministicGivenSeed) {
+  trace_config cfg = trace_config::preset(trace_kind::edge, 9);
+  cfg.churn_stride = 777;
+  trace_generator a(cfg);
+  trace_generator b(cfg);
+  for (int i = 0; i < 30000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(TraceChurn, PreservesSkewRegime) {
+  trace_config cfg = trace_config::preset(trace_kind::datacenter, 5);
+  cfg.churn_stride = 1000;
+  trace_generator gen(cfg);
+  const auto stats = summarize(gen.generate(100000));
+  // Still strongly skewed: churn renames flows, it does not flatten sizes.
+  EXPECT_GT(stats.top_hundred_share, 0.3);
+}
+
+}  // namespace
+}  // namespace memento

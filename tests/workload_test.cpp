@@ -1,0 +1,222 @@
+// Tests for the stateful HTTP workload generator (the Section 6.3 traffic
+// tool, simulated) and the mitigation policy.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lb/mitigation_policy.hpp"
+#include "lb/workload.hpp"
+
+namespace memento::lb {
+namespace {
+
+// --- workload generator -----------------------------------------------------
+
+TEST(Workload, Validation) {
+  workload_config bad_sessions;
+  bad_sessions.concurrent_sessions = 0;
+  EXPECT_THROW(workload_generator{bad_sessions}, std::invalid_argument);
+  workload_config bad_requests;
+  bad_requests.requests_per_session = 0.5;
+  EXPECT_THROW(workload_generator{bad_requests}, std::invalid_argument);
+}
+
+TEST(Workload, MaintainsConcurrentSessions) {
+  workload_config cfg;
+  cfg.concurrent_sessions = 100;
+  workload_generator gen(cfg);
+  for (int i = 0; i < 10000; ++i) (void)gen.next();
+  EXPECT_EQ(gen.live_sessions(), 100u) << "closed sessions must be replaced";
+  EXPECT_EQ(gen.requests_issued(), 10000u);
+  EXPECT_GT(gen.sessions_completed(), 0u);
+}
+
+TEST(Workload, SessionsIssueMultipleRequestsFromOneAddress) {
+  workload_config cfg;
+  cfg.concurrent_sessions = 50;
+  cfg.requests_per_session = 10.0;
+  workload_generator gen(cfg);
+  std::unordered_map<std::uint32_t, int> per_client;
+  for (int i = 0; i < 20000; ++i) ++per_client[gen.next().client()];
+  // Mean requests per client ~ 10 (stateful sessions, not one-shot).
+  double mean = 0.0;
+  for (const auto& [client, count] : per_client) mean += count;
+  mean /= static_cast<double>(per_client.size());
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 20.0);
+}
+
+TEST(Workload, PostFractionRespected) {
+  workload_config cfg;
+  cfg.post_fraction = 0.3;
+  workload_generator gen(cfg);
+  int posts = 0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) posts += gen.next().method == http_method::post;
+  EXPECT_NEAR(static_cast<double>(posts) / n, 0.3, 0.02);
+}
+
+TEST(Workload, AllRequestsTargetTheVirtualIp) {
+  workload_config cfg;
+  cfg.virtual_ip = 0x01020304u;
+  workload_generator gen(cfg);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(gen.next().pkt.dst, 0x01020304u);
+}
+
+TEST(Workload, DeterministicBySeed) {
+  workload_config cfg;
+  cfg.seed = 77;
+  workload_generator a(cfg);
+  workload_generator b(cfg);
+  for (int i = 0; i < 2000; ++i) {
+    const auto ra = a.next();
+    const auto rb = b.next();
+    ASSERT_EQ(ra.pkt, rb.pkt);
+    ASSERT_EQ(ra.method, rb.method);
+    ASSERT_EQ(ra.path_hash, rb.path_hash);
+  }
+}
+
+TEST(Workload, ClockAdvancesMonotonically) {
+  workload_generator gen(workload_config{});
+  double last = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    (void)gen.next();
+    ASSERT_GE(gen.clock(), last);
+    last = gen.clock();
+  }
+  EXPECT_GT(last, 0.0);
+}
+
+TEST(Workload, RequestsInterleaveAcrossClients) {
+  // Consecutive requests should rarely come from the same client (sessions
+  // are interleaved by think time, not played back to back).
+  workload_config cfg;
+  cfg.concurrent_sessions = 500;
+  workload_generator gen(cfg);
+  std::uint32_t prev = 0;
+  int same = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto client = gen.next().client();
+    same += client == prev;
+    prev = client;
+  }
+  EXPECT_LT(same, 100);
+}
+
+// --- mitigation policy --------------------------------------------------------
+
+mitigation_config policy_config() {
+  mitigation_config c;
+  c.block_theta = 0.05;
+  c.limit_theta = 0.02;
+  c.release_theta = 0.01;
+  c.max_rules = 4;
+  return c;
+}
+
+TEST(MitigationPolicy, Validation) {
+  mitigation_config bad = policy_config();
+  bad.release_theta = 0.03;  // not < limit_theta
+  EXPECT_THROW(mitigation_policy{bad}, std::invalid_argument);
+  bad = policy_config();
+  bad.max_rules = 0;
+  EXPECT_THROW(mitigation_policy{bad}, std::invalid_argument);
+}
+
+TEST(MitigationPolicy, GraduatedResponse) {
+  mitigation_policy policy(policy_config());
+  const auto key = prefix1d::make_key(0x0A000000u, 3);
+  // 3% share: rate limited, not blocked.
+  auto decisions = policy.evaluate({{key, 0.03}});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].to, mitigation_level::rate_limited);
+  EXPECT_EQ(policy.level_of(key), mitigation_level::rate_limited);
+  // 8% share: escalated to blocked.
+  decisions = policy.evaluate({{key, 0.08}});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].from, mitigation_level::rate_limited);
+  EXPECT_EQ(decisions[0].to, mitigation_level::blocked);
+}
+
+TEST(MitigationPolicy, RecoveryOnQuietSubnet) {
+  mitigation_policy policy(policy_config());
+  const auto key = prefix1d::make_key(0x0A000000u, 3);
+  (void)policy.evaluate({{key, 0.10}});
+  ASSERT_EQ(policy.level_of(key), mitigation_level::blocked);
+  // Share collapses below release threshold: rule lifted entirely.
+  const auto decisions = policy.evaluate({{key, 0.005}});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].to, mitigation_level::none);
+  EXPECT_EQ(policy.level_of(key), mitigation_level::none);
+  EXPECT_EQ(policy.active_rules(), 0u);
+}
+
+TEST(MitigationPolicy, BlockedDowngradesToLimitBeforeRelease) {
+  mitigation_policy policy(policy_config());
+  const auto key = prefix1d::make_key(0x0A000000u, 3);
+  (void)policy.evaluate({{key, 0.10}});
+  // Share drops between release and limit: downgraded, not released.
+  const auto decisions = policy.evaluate({{key, 0.015}});
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].to, mitigation_level::rate_limited);
+  EXPECT_EQ(policy.level_of(key), mitigation_level::rate_limited);
+}
+
+TEST(MitigationPolicy, HysteresisHoldsBetweenReleaseAndLimit) {
+  mitigation_policy policy(policy_config());
+  const auto key = prefix1d::make_key(0x0A000000u, 3);
+  (void)policy.evaluate({{key, 0.03}});
+  ASSERT_EQ(policy.level_of(key), mitigation_level::rate_limited);
+  // 1.5% is below limit_theta but above release_theta: keep the rule.
+  const auto decisions = policy.evaluate({{key, 0.015}});
+  EXPECT_TRUE(decisions.empty());
+  EXPECT_EQ(policy.level_of(key), mitigation_level::rate_limited);
+}
+
+TEST(MitigationPolicy, AbsentSubnetTreatedAsZeroShare) {
+  mitigation_policy policy(policy_config());
+  const auto key = prefix1d::make_key(0x0A000000u, 3);
+  (void)policy.evaluate({{key, 0.10}});
+  const auto decisions = policy.evaluate({});  // subnet vanished entirely
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].to, mitigation_level::none);
+}
+
+TEST(MitigationPolicy, RuleTableCapacityPrefersHeaviest) {
+  mitigation_policy policy(policy_config());  // max_rules = 4
+  std::unordered_map<std::uint64_t, double> shares;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    shares[prefix1d::make_key(i << 24, 3)] = 0.02 + 0.01 * static_cast<double>(i);
+  }
+  (void)policy.evaluate(shares);
+  EXPECT_EQ(policy.active_rules(), 4u);
+  // The four heaviest (i = 4..7) must hold the slots.
+  for (std::uint32_t i = 4; i < 8; ++i) {
+    EXPECT_NE(policy.level_of(prefix1d::make_key(i << 24, 3)), mitigation_level::none);
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(policy.level_of(prefix1d::make_key(i << 24, 3)), mitigation_level::none);
+  }
+}
+
+TEST(MitigationPolicy, ReleaseFreesCapacityForWaitingSubnets) {
+  mitigation_policy policy(policy_config());
+  std::unordered_map<std::uint64_t, double> shares;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    shares[prefix1d::make_key(i << 24, 3)] = 0.10;
+  }
+  (void)policy.evaluate(shares);
+  ASSERT_EQ(policy.active_rules(), 4u);
+  // All four quiet down; a new attacker appears.
+  std::unordered_map<std::uint64_t, double> next_shares;
+  next_shares[prefix1d::make_key(200u << 24, 3)] = 0.20;
+  (void)policy.evaluate(next_shares);
+  EXPECT_EQ(policy.level_of(prefix1d::make_key(200u << 24, 3)), mitigation_level::blocked);
+  EXPECT_EQ(policy.active_rules(), 1u);
+}
+
+}  // namespace
+}  // namespace memento::lb
