@@ -42,6 +42,21 @@ void geometric_skip_sampler(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 
+void table_sampler_fill(benchmark::State& state) {
+  // The batched-decision API used by update_batch: same draws as 1024
+  // sample() calls, but the table scan is segmented and vectorizable.
+  const double tau = 1.0 / static_cast<double>(state.range(0));
+  random_table_sampler sampler(tau, 1u << 16, 1);
+  bool decisions[1024];
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    sampler.fill(decisions, 1024);
+    for (int i = 0; i < 1024; ++i) hits += decisions[i];
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
 void std_bernoulli(benchmark::State& state) {
   const double tau = 1.0 / static_cast<double>(state.range(0));
   std::mt19937_64 rng(1);
@@ -57,6 +72,8 @@ void std_bernoulli(benchmark::State& state) {
 void register_all() {
   for (std::int64_t inv_tau : {1, 4, 16, 64, 256, 1024, 4096}) {
     benchmark::RegisterBenchmark("ablation/table_sampler", table_sampler)->Arg(inv_tau);
+    benchmark::RegisterBenchmark("ablation/table_sampler_fill", table_sampler_fill)
+        ->Arg(inv_tau);
     benchmark::RegisterBenchmark("ablation/geometric_sampler", geometric_skip_sampler)
         ->Arg(inv_tau);
     benchmark::RegisterBenchmark("ablation/std_bernoulli", std_bernoulli)->Arg(inv_tau);

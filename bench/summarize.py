@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Reduce Google Benchmark JSON into the committed perf-trajectory artifact.
+
+Usage:
+    ./build/bench/fig5_hh_speed --benchmark_format=json > fig5.raw.json
+    python3 bench/summarize.py fig5.raw.json -o BENCH_fig5.json
+
+The reducer keeps one record per benchmark config (name, label, Mpps) and,
+whenever a family has both a scalar and a `_batch` variant with the same
+args (e.g. `fig5/hh_speed/0/512/1` and `fig5/hh_speed_batch/0/512/1`), emits
+a pair entry with the batch-over-scalar speedup. The output is stable-sorted
+and pretty-printed so diffs across PRs read as a throughput trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def split_name(name: str) -> tuple[str, str]:
+    """'fig5/hh_speed_batch/0/512/1/min_time:0.1' -> ('fig5/hh_speed_batch', '0/512/1')."""
+    parts = [p for p in name.split("/") if not p.startswith("min_time:")]
+    family = "/".join(parts[:2]) if len(parts) >= 2 else parts[0]
+    args = "/".join(parts[2:])
+    return family, args
+
+
+def reduce_benchmarks(raw: dict) -> dict:
+    entries = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        family, args = split_name(b["name"])
+        mpps = b.get("Mpps")
+        if mpps is None:  # fall back to items/s when the counter is absent
+            items = b.get("items_per_second")
+            mpps = items / 1e6 if items else None
+        entries.append(
+            {
+                "family": family,
+                "args": args,
+                "label": b.get("label", ""),
+                "mpps": round(mpps, 3) if mpps is not None else None,
+            }
+        )
+    entries.sort(key=lambda e: (e["family"], e["args"]))
+
+    by_key = {(e["family"], e["args"]): e for e in entries}
+    pairs = []
+    for e in entries:
+        if e["family"].endswith("_batch"):
+            continue
+        batch = by_key.get((e["family"] + "_batch", e["args"]))
+        if not batch or e["mpps"] is None or batch["mpps"] is None or e["mpps"] == 0:
+            continue
+        pairs.append(
+            {
+                "config": f"{e['family']}/{e['args']}",
+                "label": e["label"],
+                "scalar_mpps": e["mpps"],
+                "batch_mpps": batch["mpps"],
+                "batch_speedup": round(batch["mpps"] / e["mpps"], 3),
+            }
+        )
+
+    context = raw.get("context", {})
+    return {
+        "generated_by": "bench/summarize.py",
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "entries": entries,
+        "pairs": pairs,
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("input", help="Google Benchmark --benchmark_format=json output")
+    ap.add_argument("-o", "--output", default=None, help="write here instead of stdout")
+    args = ap.parse_args()
+
+    with open(args.input, encoding="utf-8") as f:
+        raw = json.load(f)
+    summary = reduce_benchmarks(raw)
+    text = json.dumps(summary, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,10 @@
 // shape).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -72,6 +74,29 @@ class h_memento {
       inner_.window_update();
     }
   }
+
+  /// Batched UPDATE: state-identical to n scalar update(p) calls with the
+  /// same seed (sampler and generalization rng are consumed in the same
+  /// order); the sampling decisions and sampled-prefix keys are materialized
+  /// per chunk and replayed through the inner Memento's batch kernel.
+  void update_batch(const packet* ps, std::size_t n) {
+    constexpr std::size_t kChunk = 256;
+    bool decisions[kChunk];
+    key_type keys[kChunk];
+    for (std::size_t i = 0; i < n; i += kChunk) {
+      const std::size_t m = std::min(kChunk, n - i);
+      sampler_.fill(decisions, m);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (decisions[j]) {
+          const auto level = static_cast<std::size_t>(rng_.bounded(H::hierarchy_size));
+          keys[j] = H::key_at(ps[i + j], level);
+        }
+      }
+      inner_.update_batch_decided(keys, decisions, m);
+    }
+  }
+
+  void update_batch(std::span<const packet> ps) { update_batch(ps.data(), ps.size()); }
 
   /// Forced Full update (the sampling decision was made elsewhere, e.g. by a
   /// D-H-Memento measurement point): inserts one random generalization.

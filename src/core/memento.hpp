@@ -36,16 +36,29 @@
 // both the de-amortized retirement fuzz and the in-frame residue, mirroring
 // MST's one-sided error. `query_lower` exposes the matching lower bound
 // (upper minus the 4*T*tau^-1 worst-case width).
+//
+// Batched updates: `update_batch(xs, n)` (and the std::span overload)
+// processes n packets with *identical observable state* to n scalar update()
+// calls - the sampler is consumed in the same order, so the sampled sequence
+// is the same for the same seed, and every queue/table mutation happens in
+// the same order. The batch path is faster because it (a) pre-draws the
+// chunk's sampling decisions with random_table_sampler::fill, (b) hashes the
+// chunk's keys in one vectorizable pass and prefetches their flat-table
+// slots, (c) hoists the per-packet frame/block boundary checks into a
+// packets-until-boundary countdown per run, and (d) replaces the per-packet
+// overflow division with a multiply-based divisibility test. Composite
+// samplers (H-Memento) drive the same kernel through update_batch_decided.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "sketch/space_saving.hpp"
+#include "util/flat_hash.hpp"
 #include "util/random.hpp"
 
 namespace memento {
@@ -95,10 +108,15 @@ class memento_sketch {
     block_len_ = (config.window_size + k_ - 1) / k_;
     if (block_len_ == 0) block_len_ = 1;
     frame_len_ = block_len_ * k_;
+    until_block_end_ = block_len_;
     // Overflow threshold in *sampled* units (see file comment).
     threshold_ = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(
                std::llround(static_cast<double>(frame_len_) * tau_ / static_cast<double>(k_))));
+    // ceil(2^64 / T): `c * magic < magic` (mod 2^64) iff T divides c, for
+    // T >= 2 [Lemire, Kaser & Granlund 2019]; T == 1 wraps magic to 0 and is
+    // special-cased at the test site.
+    threshold_magic_ = ~std::uint64_t{0} / threshold_ + 1;
     blocks_.resize(k_ + 1);
     overflows_.reserve(4 * k_);
   }
@@ -116,8 +134,49 @@ class memento_sketch {
     }
   }
 
+  /// Batched UPDATE: equivalent to `for (i < n) update(xs[i])` - same sampled
+  /// sequence for the same seed, same observable state afterwards - but
+  /// amortizes sampling, hashing, and window bookkeeping over the batch (see
+  /// file comment). This is the intended per-burst ingest call.
+  void update_batch(const Key* xs, std::size_t n) {
+    if (tau_ >= 1.0) {
+      // WCSS regime: every packet is sampled; skip the decision buffer (the
+      // scalar sampler does not consume the table when tau == 1 either).
+      for (std::size_t i = 0; i < n; i += kBatchChunk) {
+        process_chunk<true, true>(xs + i, nullptr, std::min(kBatchChunk, n - i));
+      }
+      return;
+    }
+    bool decisions[kBatchChunk];
+    for (std::size_t i = 0; i < n; i += kBatchChunk) {
+      const std::size_t m = std::min(kBatchChunk, n - i);
+      sampler_.fill(decisions, m);
+      // Dense taus amortize a branch-free hash-precompute pass; sparse taus
+      // hash the few sampled keys inline (see process_chunk pass 1).
+      if (tau_ >= 0.125) {
+        process_chunk<false, true>(xs + i, decisions, m);
+      } else {
+        process_chunk<false, false>(xs + i, decisions, m);
+      }
+    }
+  }
+
+  void update_batch(std::span<const Key> xs) { update_batch(xs.data(), xs.size()); }
+
+  /// Batched update with the Bernoulli decisions made by the caller
+  /// (H-Memento samples prefixes with its own sampler and rng): packet i
+  /// triggers a Full update of xs[i] iff decisions[i]; xs[i] is not read
+  /// otherwise (callers only materialize sampled keys, so the kernel's
+  /// branch-free dense hash pass is off here). Same equivalence guarantee.
+  void update_batch_decided(const Key* xs, const bool* decisions, std::size_t n) {
+    for (std::size_t i = 0; i < n; i += kBatchChunk) {
+      process_chunk<false, false>(xs + i, decisions + i, std::min(kBatchChunk, n - i));
+    }
+  }
+
   /// Algorithm 1 WINDOWUPDATE: advance the clock, expire frame/block state,
-  /// retire (at most) one queued overflow of the oldest block. O(1).
+  /// retire (at most) one queued overflow of the oldest block. O(1). The
+  /// block boundary fires on a decrementing countdown, not `clock % block`.
   void window_update() {
     ++stream_length_;
     ++clock_;
@@ -125,7 +184,10 @@ class memento_sketch {
       clock_ = 0;
       y_.flush();
     }
-    if (clock_ % block_len_ == 0) rotate_blocks();
+    if (--until_block_end_ == 0) {
+      until_block_end_ = block_len_;
+      rotate_blocks();
+    }
     retire_one();
   }
 
@@ -134,10 +196,10 @@ class memento_sketch {
   /// multiple of the threshold. O(1).
   void full_update(const Key& x) {
     window_update();
-    y_.add(x);
-    if (y_.query(x) % threshold_ == 0) {  // overflow (Algorithm 1 line 15)
+    const std::uint64_t count = y_.add(x);
+    if (count % threshold_ == 0) {  // overflow (Algorithm 1 line 15)
       blocks_[head_].items.push_back(x);
-      ++overflows_[x];
+      ++overflows_.find_or_emplace(x, 0);
     }
   }
 
@@ -146,8 +208,8 @@ class memento_sketch {
   [[nodiscard]] double query(const Key& x) const {
     const double residue = static_cast<double>(y_.query(x) % threshold_);
     const double t = static_cast<double>(threshold_);
-    if (const auto it = overflows_.find(x); it != overflows_.end()) {
-      return inv_tau_ * (t * static_cast<double>(it->second + 2) + residue);
+    if (const std::uint32_t* b = overflows_.find(x)) {
+      return inv_tau_ * (t * static_cast<double>(*b + 2) + residue);
     }
     return inv_tau_ * (2.0 * t + residue);  // no overflows (line 25)
   }
@@ -176,11 +238,10 @@ class memento_sketch {
   [[nodiscard]] std::vector<heavy_hitter> heavy_hitters(double theta) const {
     std::vector<heavy_hitter> out;
     const double bar = theta * static_cast<double>(frame_len_);
-    for (const auto& [key, count] : overflows_) {
-      (void)count;
+    overflows_.for_each([&](const Key& key, std::uint32_t) {
       const double est = query(key);
       if (est >= bar) out.push_back({key, est});
-    }
+    });
     std::sort(out.begin(), out.end(),
               [](const heavy_hitter& a, const heavy_hitter& b) { return a.estimate > b.estimate; });
     return out;
@@ -194,10 +255,9 @@ class memento_sketch {
   [[nodiscard]] std::vector<heavy_hitter> top(std::size_t k) const {
     std::vector<heavy_hitter> all;
     all.reserve(overflows_.size());
-    for (const auto& [key, count] : overflows_) {
-      (void)count;
+    overflows_.for_each([&](const Key& key, std::uint32_t) {
       all.push_back({key, query(key)});
-    }
+    });
     const std::size_t keep = std::min(k, all.size());
     std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(keep),
                       all.end(), [](const heavy_hitter& a, const heavy_hitter& b) {
@@ -212,12 +272,9 @@ class memento_sketch {
   [[nodiscard]] std::vector<Key> monitored_keys() const {
     std::vector<Key> keys;
     keys.reserve(overflows_.size() + y_.size());
-    for (const auto& [key, count] : overflows_) {
-      (void)count;
-      keys.push_back(key);
-    }
+    overflows_.for_each([&](const Key& key, std::uint32_t) { keys.push_back(key); });
     y_.for_each([&](const Key& key, std::uint64_t, std::uint64_t) {
-      if (overflows_.find(key) == overflows_.end()) keys.push_back(key);
+      if (!overflows_.contains(key)) keys.push_back(key);
     });
     return keys;
   }
@@ -238,6 +295,10 @@ class memento_sketch {
   [[nodiscard]] std::uint64_t forced_drains() const noexcept { return forced_drains_; }
 
  private:
+  /// Packets per batch-kernel chunk: bounds the decision/bucket scratch (256
+  /// decisions + 256 buckets ~ 2.25 KB of stack) and the prefetch window.
+  static constexpr std::size_t kBatchChunk = 256;
+
   /// FIFO queue of one block's overflow events. Retirement consumes from
   /// `next`, appends go to the back; storage is recycled on block reuse.
   struct block_queue {
@@ -250,6 +311,80 @@ class memento_sketch {
       next = 0;
     }
   };
+
+  /// The batch kernel: one chunk (m <= kBatchChunk) of packets, with the
+  /// sampling decisions already drawn (dec, or every packet when AllSampled).
+  /// Mutation order is exactly the scalar order - per packet: boundary work,
+  /// one retirement, then the Full-update add - so batch and scalar runs are
+  /// state-identical; only the bookkeeping around the mutations is hoisted.
+  template <bool AllSampled, bool Prehashed>
+  void process_chunk(const Key* xs, const bool* dec, std::size_t m) {
+    // Pass 1 (dense regimes only): hash every key of the chunk - a pure,
+    // branch-free, vectorizable loop - and prefetch the home slots in the
+    // counter index. In sparse regimes (small tau, or externally-decided
+    // batches that only materialize sampled keys) the precompute pass would
+    // re-walk the decision buffer for a handful of hashes, so sampled adds
+    // hash inline instead and this pass disappears.
+    std::size_t buckets[kBatchChunk];
+    if constexpr (Prehashed) {
+      for (std::size_t j = 0; j < m; ++j) buckets[j] = y_.index_bucket(xs[j]);
+      for (std::size_t j = 0; j < m; ++j) y_.prefetch_bucket(buckets[j]);
+    }
+    // Pass 2: replay the packets in runs that end at the next frame/block
+    // boundary, so the boundary test leaves the per-packet loop entirely.
+    std::size_t j = 0;
+    while (j < m) {
+      const bool boundary = until_block_end_ <= static_cast<std::uint64_t>(m - j);
+      const std::size_t run = boundary ? static_cast<std::size_t>(until_block_end_) : m - j;
+      const std::size_t interior_end = j + run - (boundary ? 1 : 0);
+      // Interior packets see no boundary. Retirements pop the oldest block's
+      // queue while appends go to the newest, so once the tail queue drains
+      // it stays empty for the rest of the run and the retire test vanishes.
+      block_queue& tail = blocks_[tail_index()];
+      for (; j < interior_end && !tail.empty(); ++j) {
+        drop_oldest(tail);
+        if (AllSampled || dec[j]) {
+          full_add(xs[j], Prehashed ? buckets[j] : y_.index_bucket(xs[j]));
+        }
+      }
+      for (; j < interior_end; ++j) {
+        if (AllSampled || dec[j]) {
+          full_add(xs[j], Prehashed ? buckets[j] : y_.index_bucket(xs[j]));
+        }
+      }
+      stream_length_ += run;
+      clock_ += run;
+      if (boundary) {
+        // The run's last packet closes a block: frame/block work happens
+        // after its clock tick, before its own retirement and add - the
+        // scalar window_update() order.
+        if (clock_ == frame_len_) {
+          clock_ = 0;
+          y_.flush();
+        }
+        rotate_blocks();
+        until_block_end_ = block_len_;
+        retire_one();
+        if (AllSampled || dec[j]) {
+          full_add(xs[j], Prehashed ? buckets[j] : y_.index_bucket(xs[j]));
+        }
+        ++j;
+      } else {
+        until_block_end_ -= run;
+      }
+    }
+  }
+
+  /// Full-update tail for the batch path: the Space-Saving add (prehashed)
+  /// plus the overflow test, with the per-packet `% threshold_` replaced by
+  /// the multiply-based divisibility check (magic == 0 encodes T == 1).
+  void full_add(const Key& x, std::size_t bucket) {
+    const std::uint64_t count = y_.add_prehashed(bucket, x);
+    if (count * threshold_magic_ < threshold_magic_ || threshold_ == 1) {
+      blocks_[head_].items.push_back(x);
+      ++overflows_.find_or_emplace(x, 0);
+    }
+  }
 
   /// Ends the current block: the oldest queue leaves the window and a fresh
   /// one becomes current (Algorithm 1 lines 5-7).
@@ -274,8 +409,9 @@ class memento_sketch {
 
   void drop_oldest(block_queue& q) {
     const Key& old_id = q.items[q.next++];
-    const auto it = overflows_.find(old_id);
-    if (it != overflows_.end() && --(it->second) == 0) overflows_.erase(it);
+    if (std::uint32_t* count = overflows_.find(old_id)) {
+      if (--(*count) == 0) overflows_.erase(old_id);
+    }
   }
 
   /// Oldest live block: the slot after head in the (k+1)-ring.
@@ -283,18 +419,20 @@ class memento_sketch {
     return head_ + 1 == blocks_.size() ? 0 : head_ + 1;
   }
 
-  space_saving<Key> y_;                              ///< in-frame sampled counts
-  random_table_sampler sampler_;                     ///< Bernoulli(tau) decisions
-  std::unordered_map<Key, std::uint32_t> overflows_; ///< the table B
-  std::vector<block_queue> blocks_;                  ///< the queue-of-queues b (k+1 ring)
-  std::size_t head_ = 0;                             ///< current block slot
+  space_saving<Key> y_;                       ///< in-frame sampled counts
+  random_table_sampler sampler_;              ///< Bernoulli(tau) decisions
+  flat_hash<Key, std::uint32_t> overflows_;   ///< the table B
+  std::vector<block_queue> blocks_;           ///< the queue-of-queues b (k+1 ring)
+  std::size_t head_ = 0;                      ///< current block slot
   double tau_;
   double inv_tau_;
   std::size_t k_;
   std::uint64_t block_len_ = 1;
   std::uint64_t frame_len_ = 1;
   std::uint64_t threshold_ = 1;
-  std::uint64_t clock_ = 0;          ///< M: position within the frame
+  std::uint64_t threshold_magic_ = 0;  ///< ceil(2^64 / T); 0 encodes T == 1
+  std::uint64_t clock_ = 0;            ///< M: position within the frame
+  std::uint64_t until_block_end_ = 1;  ///< packets until the block boundary fires
   std::uint64_t stream_length_ = 0;
   std::uint64_t forced_drains_ = 0;
 };

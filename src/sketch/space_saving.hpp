@@ -21,8 +21,9 @@
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
+
+#include "util/flat_hash.hpp"
 
 namespace memento {
 
@@ -47,12 +48,18 @@ class space_saving {
   }
 
   /// Processes one arrival of `x` (Section 2's three cases: increment an
-  /// existing counter, claim a free one, or evict the minimum). O(1).
-  void add(const Key& x) {
+  /// existing counter, claim a free one, or evict the minimum) and returns
+  /// x's post-increment counter value, sparing callers a second lookup. O(1).
+  std::uint64_t add(const Key& x) { return add_prehashed(index_.bucket(x), x); }
+
+  /// add(x) with x's home bucket precomputed via index_bucket(). Batched
+  /// callers hash a chunk of keys in one vectorizable pass and replay the
+  /// (serial) structural updates here; the index never grows after
+  /// construction, so precomputed buckets stay valid across adds.
+  std::uint64_t add_prehashed(std::size_t bucket, const Key& x) {
     ++adds_;
-    if (const auto it = index_.find(x); it != index_.end()) {
-      increment(it->second);
-      return;
+    if (const std::uint32_t* idx = index_.find_prehashed(bucket, x)) {
+      return increment(*idx);
     }
     if (used_ < counters_.size()) {
       const auto idx = static_cast<std::uint32_t>(used_++);
@@ -60,27 +67,37 @@ class space_saving {
       c.key = x;
       c.count = 1;
       c.overestimate = 0;
-      index_.emplace(x, idx);
+      c.islot = static_cast<std::uint32_t>(index_.emplace_prehashed(bucket, x, idx));
       attach_to_count_one(idx);
-      return;
+      return 1;
     }
     // Evict the minimum: reuse its slot for x, inheriting count (+1) and
-    // recording the inherited value as the overestimate.
+    // recording the inherited value as the overestimate. The old key's index
+    // entry is removed by stored slot position - no probe; the backward
+    // shift's relocations flow back into the affected counters' islot.
     const std::uint32_t idx = buckets_[min_bucket_].head;
     counter_node& c = counters_[idx];
-    index_.erase(c.key);
+    index_.erase_at(c.islot, [this](std::uint32_t moved, std::size_t pos) {
+      counters_[moved].islot = static_cast<std::uint32_t>(pos);
+    });
     c.overestimate = c.count;
     c.key = x;
-    index_.emplace(x, idx);
-    increment(idx);
+    c.islot = static_cast<std::uint32_t>(index_.emplace_prehashed(bucket, x, idx));
+    return increment(idx);
+  }
+
+  /// Home bucket of x in the counter index (see flat_hash::bucket); feed to
+  /// add_prehashed / prefetch_bucket.
+  [[nodiscard]] std::size_t index_bucket(const Key& x) const noexcept {
+    return index_.bucket(x);
   }
 
   /// Upper-bound estimate: the counter if monitored, otherwise the minimum
   /// counter once the structure is full (an unmonitored flow can have been
   /// evicted with at most that many arrivals), otherwise 0.
   [[nodiscard]] std::uint64_t query(const Key& x) const {
-    if (const auto it = index_.find(x); it != index_.end()) {
-      return counters_[it->second].count;
+    if (const std::uint32_t* idx = index_.find(x)) {
+      return counters_[*idx].count;
     }
     return used_ == counters_.size() ? min_count() : 0;
   }
@@ -88,14 +105,21 @@ class space_saving {
   /// Lower-bound estimate: count minus the recorded overestimate (0 when the
   /// flow is not monitored). Never exceeds the true frequency.
   [[nodiscard]] std::uint64_t query_lower(const Key& x) const {
-    if (const auto it = index_.find(x); it != index_.end()) {
-      const counter_node& c = counters_[it->second];
+    if (const std::uint32_t* idx = index_.find(x)) {
+      const counter_node& c = counters_[*idx];
       return c.count - c.overestimate;
     }
     return 0;
   }
 
-  [[nodiscard]] bool contains(const Key& x) const { return index_.count(x) > 0; }
+  [[nodiscard]] bool contains(const Key& x) const { return index_.contains(x); }
+
+  /// Pulls x's index slot toward the cache ahead of an add(); issued by the
+  /// batched update path for keys a few packets downstream.
+  void prefetch(const Key& x) const noexcept { index_.prefetch(x); }
+
+  /// prefetch() by precomputed home bucket (see index_bucket()).
+  void prefetch_bucket(std::size_t bucket) const noexcept { index_.prefetch_bucket(bucket); }
 
   /// Value of the minimum counter (0 when empty).
   [[nodiscard]] std::uint64_t min_count() const {
@@ -148,6 +172,7 @@ class space_saving {
     std::uint32_t prev = npos;    ///< previous counter in the same bucket
     std::uint32_t next = npos;    ///< next counter in the same bucket
     std::uint32_t bucket = npos;  ///< owning bucket index
+    std::uint32_t islot = npos;   ///< key's slot in index_ (probe-free eviction erase)
   };
 
   struct bucket_node {
@@ -222,7 +247,8 @@ class space_saving {
   }
 
   /// count += 1 and migrate to the adjacent bucket, creating it if needed.
-  void increment(std::uint32_t idx) {
+  /// Returns the new count.
+  std::uint64_t increment(std::uint32_t idx) {
     counter_node& c = counters_[idx];
     const std::uint32_t bkt = c.bucket;
     const std::uint64_t target = c.count + 1;
@@ -244,11 +270,12 @@ class space_saving {
       push_counter(idx, fresh);
     }
     c.count = target;
+    return target;
   }
 
   std::vector<counter_node> counters_;
   std::vector<bucket_node> buckets_;
-  std::unordered_map<Key, std::uint32_t> index_;
+  flat_hash<Key, std::uint32_t> index_;
   std::uint32_t bucket_free_ = npos;
   std::uint32_t min_bucket_ = npos;
   std::size_t used_ = 0;

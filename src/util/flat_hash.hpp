@@ -1,0 +1,264 @@
+// Flat open-addressing hash map for the packet-processing hot path.
+//
+// std::unordered_map costs the sketch stack one node allocation per insert
+// and one deallocation per erase - and Space-Saving's eviction path (the
+// common case on heavy-tailed traces, where most packets miss the counter
+// set) pays both, plus pointer-chasing on every find. This map removes all
+// of that: one flat power-of-two slot array, linear probing, and
+// tombstone-free deletion by backward shifting (Knuth TAOCP 6.4 Algorithm R),
+// so a long-running sketch never degrades from accumulated tombstones and
+// never allocates after reserve().
+//
+// Values are small (32-bit counter indices / overflow counts across the
+// stack), so slots stay 16 bytes for 64-bit keys - four per cache line - and
+// a probe is a predictable forward scan. `bucket_of` finishes the hash with
+// a splitmix64-style avalanche so identity std::hash (libstdc++ integers)
+// still spreads over the power-of-two range.
+//
+// Used by space_saving::index_ and memento_sketch::overflows_, and through
+// them by WCSS, H-Memento, MST and RHHH. References into the table are
+// invalidated by rehash (growth only - erase never moves the table).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace memento {
+
+template <typename Key, typename Value = std::uint32_t, typename Hash = std::hash<Key>>
+class flat_hash {
+ public:
+  flat_hash() = default;
+
+  /// Pre-sizes the table for `expected` entries without exceeding the
+  /// maximum load factor (3/4).
+  explicit flat_hash(std::size_t expected) { reserve(expected); }
+
+  /// Grows the table (never shrinks) so `expected` entries fit at load <= 3/4.
+  void reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap - cap / 4 < expected) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Pointer to x's value, or nullptr when absent. Stable until the next
+  /// rehashing insert.
+  [[nodiscard]] Value* find(const Key& x) noexcept {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = bucket_of(x);; i = next(i)) {
+      slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == x) return &s.value;
+    }
+  }
+
+  [[nodiscard]] const Value* find(const Key& x) const noexcept {
+    return const_cast<flat_hash*>(this)->find(x);
+  }
+
+  [[nodiscard]] bool contains(const Key& x) const noexcept { return find(x) != nullptr; }
+
+  /// Inserts {x, v}; x must not already be present (the sketches always
+  /// find() first, so the probe is not repeated here beyond the empty scan).
+  void emplace(const Key& x, Value v) {
+    grow_if_needed();
+    std::size_t i = bucket_of(x);
+    while (slots_[i].used) {
+      assert(!(slots_[i].key == x) && "flat_hash::emplace: key already present");
+      i = next(i);
+    }
+    place(i, x, v);
+  }
+
+  /// Value of x, inserting `init` first when absent (the `++map[x]` idiom).
+  /// Probes before growing, so a hit never rehashes (and never invalidates
+  /// outstanding find() pointers).
+  [[nodiscard]] Value& find_or_emplace(const Key& x, Value init) {
+    if (slots_.empty()) rehash(kMinCapacity);
+    std::size_t i = bucket_of(x);
+    for (; slots_[i].used; i = next(i)) {
+      if (slots_[i].key == x) return slots_[i].value;
+    }
+    if (size_ + 1 > slots_.size() - slots_.size() / 4) {
+      rehash(slots_.size() * 2);
+      i = bucket_of(x);
+      while (slots_[i].used) i = next(i);
+    }
+    place(i, x, init);
+    return slots_[i].value;
+  }
+
+  /// Removes x (returns false when absent) by backward shift: every entry in
+  /// the probe chain after the hole moves up unless it already sits at or
+  /// past its home bucket, so lookups never need tombstones.
+  bool erase(const Key& x) {
+    if (slots_.empty()) return false;
+    std::size_t pos = bucket_of(x);
+    while (true) {
+      if (!slots_[pos].used) return false;
+      if (slots_[pos].key == x) break;
+      pos = next(pos);
+    }
+    erase_slot(pos, [](Value, std::size_t) {});
+    return true;
+  }
+
+  /// erase() by slot position (as returned by emplace_prehashed), skipping
+  /// the probe entirely - Space-Saving's eviction path keeps each monitored
+  /// key's slot on its counter. The backward shift relocates other entries,
+  /// so on_move(value, new_pos) fires for each one, letting the caller
+  /// maintain those back-references.
+  template <typename MoveFn>
+  void erase_at(std::size_t pos, MoveFn&& on_move) {
+    assert(pos < slots_.size() && slots_[pos].used);
+    erase_slot(pos, std::forward<MoveFn>(on_move));
+  }
+
+  /// Drops all entries; capacity is retained (flush() happens every frame).
+  void clear() noexcept {
+    for (auto& s : slots_) s = slot{};
+    size_ = 0;
+  }
+
+  /// Invokes fn(key, value) for every entry. Iteration order is the slot
+  /// order - deterministic for a given operation history.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+  /// Hints the cache about x's home slot; pairs with update_batch's
+  /// decision lookahead so the probe's first line is resident on arrival.
+  void prefetch(const Key& x) const noexcept {
+    if (!slots_.empty()) __builtin_prefetch(&slots_[bucket_of(x)]);
+  }
+
+  // --- prehashed hot-path entry points -------------------------------------
+  // Batched callers hash a whole chunk of keys up front (a vectorizable pure
+  // loop) and replay the probes later with the home bucket already in hand.
+  // A bucket value stays valid only while capacity() is unchanged, so these
+  // are restricted to pre-reserved tables that never grow (asserted).
+
+  /// Home bucket of x; the table must be non-empty (reserve() first).
+  [[nodiscard]] std::size_t bucket(const Key& x) const noexcept {
+    assert(!slots_.empty() && "flat_hash::bucket: reserve() before prehashing");
+    return bucket_of(x);
+  }
+
+  /// find(x), probing from a bucket() value computed earlier.
+  [[nodiscard]] Value* find_prehashed(std::size_t bucket, const Key& x) noexcept {
+    assert(!slots_.empty() && bucket == bucket_of(x));
+    for (std::size_t i = bucket;; i = next(i)) {
+      slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == x) return &s.value;
+    }
+  }
+
+  /// emplace(x, v) from a bucket() value; the table must have spare reserved
+  /// capacity (growth would invalidate every outstanding bucket value).
+  /// Returns the slot position x landed in (stable until a rehash or until a
+  /// backward-shift erase relocates it - see erase_at's on_move).
+  std::size_t emplace_prehashed(std::size_t bucket, const Key& x, Value v) {
+    assert(!slots_.empty() && bucket == bucket_of(x));
+    assert(size_ + 1 <= slots_.size() - slots_.size() / 4 &&
+           "flat_hash::emplace_prehashed: table would need to grow");
+    std::size_t i = bucket;
+    while (slots_[i].used) {
+      assert(!(slots_[i].key == x) && "flat_hash::emplace_prehashed: key already present");
+      i = next(i);
+    }
+    place(i, x, v);
+    return i;
+  }
+
+  /// Prefetches a home slot by bucket() value.
+  void prefetch_bucket(std::size_t bucket) const noexcept {
+    __builtin_prefetch(&slots_[bucket]);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Slot-array size (a power of two; 0 before the first insert/reserve).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  struct slot {
+    Key key{};
+    Value value{};
+    bool used = false;
+  };
+
+  /// mix64 finalizer on top of Hash: full-avalanche high and low bits, so
+  /// masking to a power of two is safe even for identity hashes.
+  [[nodiscard]] std::size_t bucket_of(const Key& x) const noexcept {
+    return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(Hash{}(x)))) & mask_;
+  }
+
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept { return (i + 1) & mask_; }
+
+  /// Shared backward-shift deletion tail: pos holds the doomed entry.
+  template <typename MoveFn>
+  void erase_slot(std::size_t pos, MoveFn&& on_move) {
+    std::size_t hole = pos;
+    for (std::size_t i = next(hole); slots_[i].used; i = next(i)) {
+      // Entry at i may fill the hole iff its home bucket is not inside the
+      // circular interval (hole, i] - i.e. probing for it still reaches i's
+      // chain through `hole`. Distance arithmetic handles the wraparound.
+      const std::size_t home = bucket_of(slots_[i].key);
+      if (((i - home) & mask_) >= ((i - hole) & mask_)) {
+        slots_[hole].key = std::move(slots_[i].key);
+        slots_[hole].value = slots_[i].value;
+        on_move(slots_[hole].value, hole);
+        hole = i;
+      }
+    }
+    slots_[hole] = slot{};
+    --size_;
+  }
+
+  void place(std::size_t i, const Key& x, Value v) {
+    slots_[i].key = x;
+    slots_[i].value = v;
+    slots_[i].used = true;
+    ++size_;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(kMinCapacity);
+    } else if (size_ + 1 > slots_.size() - slots_.size() / 4) {
+      rehash(slots_.size() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<slot> old = std::move(slots_);
+    slots_.assign(new_capacity, slot{});
+    mask_ = new_capacity - 1;
+    for (slot& s : old) {
+      if (!s.used) continue;
+      std::size_t i = bucket_of(s.key);
+      while (slots_[i].used) i = next(i);
+      slots_[i].key = std::move(s.key);
+      slots_[i].value = s.value;
+      slots_[i].used = true;
+    }
+  }
+
+  std::vector<slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace memento

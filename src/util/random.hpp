@@ -16,6 +16,7 @@
 // in this repository reproducible from a seed.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdint>
@@ -24,14 +25,20 @@
 
 namespace memento {
 
+/// splitmix64's full-avalanche finalizer: every output bit depends on every
+/// input bit. Shared by the seed expander below and by flat_hash, which
+/// masks hashes to a power-of-two range and so needs avalanched low bits.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// splitmix64 step; used to expand a single 64-bit seed into generator state.
 /// Returns the next value and advances `state`.
 [[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
   state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return mix64(state);
 }
 
 /// xoshiro256** by Blackman & Vigna: 256-bit state, period 2^256 - 1.
@@ -125,6 +132,27 @@ class random_table_sampler {
     const std::uint64_t draw = table_[cursor_];
     cursor_ = cursor_ + 1 == table_.size() ? 0 : cursor_ + 1;
     return draw < threshold_;
+  }
+
+  /// Bulk-decision API for batched update paths: writes the next n Bernoulli
+  /// decisions into out, consuming the table exactly as n sequential sample()
+  /// calls would (same draws, same cursor advance), so batch and scalar
+  /// consumers see the same sampled sequence from the same seed. The inner
+  /// loop is wrap-free (segmented at the table edge) and vectorizable.
+  void fill(bool* out, std::size_t n) noexcept {
+    if (always_) {
+      std::fill_n(out, n, true);
+      return;
+    }
+    std::size_t done = 0;
+    while (done < n) {
+      const std::size_t run = std::min(n - done, table_.size() - cursor_);
+      const std::uint64_t* draws = table_.data() + cursor_;
+      for (std::size_t i = 0; i < run; ++i) out[done + i] = draws[i] < threshold_;
+      cursor_ += run;
+      if (cursor_ == table_.size()) cursor_ = 0;
+      done += run;
+    }
   }
 
   [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }

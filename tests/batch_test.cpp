@@ -1,0 +1,174 @@
+// Differential tests for the batched update path: update_batch (and the
+// composite-sampler kernel behind h_memento::update_batch) must leave a
+// sketch in state *identical* to the same packets fed through scalar
+// update() - same sampled sequence, same queries, same heavy-hitter output,
+// same forced-drain count - for every tau regime and for batch sizes that
+// straddle block and frame boundaries. This is what licenses every
+// batch-path shortcut (pre-drawn decisions, prehashed adds, hoisted
+// boundary checks, the multiply-based overflow test).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/h_memento.hpp"
+#include "core/memento.hpp"
+#include "hierarchy/prefix1d.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/random.hpp"
+
+namespace memento {
+namespace {
+
+using sketch = memento_sketch<std::uint64_t>;
+
+std::vector<std::uint64_t> skewed_ids(std::size_t n, std::uint64_t seed) {
+  // Zipf-like mix over a small universe: plenty of repeats (overflows) and
+  // plenty of distinct tail keys (evictions).
+  trace_generator gen(trace_config{1u << 12, 1.2, seed, 0});
+  std::vector<std::uint64_t> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(flow_id(gen.next()));
+  return ids;
+}
+
+/// Asserts every observable of the two sketches is identical. Exact vector
+/// comparison (keys AND estimates, in order) on purpose: the batch path must
+/// replay the scalar mutation order bit-for-bit, so even iteration order and
+/// tie-breaks agree.
+void expect_identical(const sketch& a, const sketch& b) {
+  ASSERT_EQ(a.stream_length(), b.stream_length());
+  ASSERT_EQ(a.forced_drains(), b.forced_drains());
+  ASSERT_EQ(a.overflow_entries(), b.overflow_entries());
+
+  const auto keys_a = a.monitored_keys();
+  const auto keys_b = b.monitored_keys();
+  ASSERT_EQ(keys_a, keys_b);
+  for (const auto& k : keys_a) {
+    ASSERT_DOUBLE_EQ(a.query(k), b.query(k)) << "key " << k;
+    ASSERT_DOUBLE_EQ(a.query_lower(k), b.query_lower(k)) << "key " << k;
+  }
+  // An unmonitored key exercises the no-overflow query branch.
+  ASSERT_DOUBLE_EQ(a.query(0xFFFF'FFFF'FFFF'0001ull), b.query(0xFFFF'FFFF'FFFF'0001ull));
+
+  for (double theta : {0.001, 0.01, 0.1}) {
+    const auto hh_a = a.heavy_hitters(theta);
+    const auto hh_b = b.heavy_hitters(theta);
+    ASSERT_EQ(hh_a.size(), hh_b.size()) << "theta " << theta;
+    for (std::size_t i = 0; i < hh_a.size(); ++i) {
+      ASSERT_EQ(hh_a[i].key, hh_b[i].key) << "theta " << theta << " rank " << i;
+      ASSERT_DOUBLE_EQ(hh_a[i].estimate, hh_b[i].estimate);
+    }
+  }
+  const auto top_a = a.top(16);
+  const auto top_b = b.top(16);
+  ASSERT_EQ(top_a.size(), top_b.size());
+  for (std::size_t i = 0; i < top_a.size(); ++i) {
+    ASSERT_EQ(top_a[i].key, top_b[i].key) << "rank " << i;
+    ASSERT_DOUBLE_EQ(top_a[i].estimate, top_b[i].estimate);
+  }
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchEquivalence, BatchEqualsScalarAcrossTauAndBatchSizes) {
+  // W = 1000, k = 8 -> block 125, frame 1000: 5000 packets cross 5 frame and
+  // 40 block boundaries, so every batch size below lands on and straddles
+  // boundaries many times. Batch sizes exercise: single packet, unaligned
+  // small, exactly one block, one block + 1, prime, exactly one frame,
+  // bigger than a frame, and everything at once.
+  const int inv_tau = GetParam();  // 1, 16, 256
+  const double tau = 1.0 / inv_tau;
+  const auto ids = skewed_ids(5000, 42 + static_cast<std::uint64_t>(inv_tau));
+
+  for (std::size_t batch :
+       {std::size_t{1}, std::size_t{7}, std::size_t{125}, std::size_t{126},
+        std::size_t{997}, std::size_t{1000}, std::size_t{1024}, ids.size()}) {
+    sketch scalar(1000, 8, tau, /*seed=*/5);
+    sketch batched(1000, 8, tau, /*seed=*/5);
+    for (const auto id : ids) scalar.update(id);
+    for (std::size_t i = 0; i < ids.size(); i += batch) {
+      batched.update_batch(ids.data() + i, std::min(batch, ids.size() - i));
+    }
+    SCOPED_TRACE("tau=1/" + std::to_string(inv_tau) + " batch=" + std::to_string(batch));
+    expect_identical(scalar, batched);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TauRegimes, BatchEquivalence, ::testing::Values(1, 16, 256));
+
+TEST(BatchEquivalence, SpanOverloadAndMixedScalarBatchInterleaving) {
+  // Switching between scalar and batch ingestion mid-stream must be seamless
+  // (same sampler sequence): scalar x2000, one batch of 1111, scalar again.
+  const auto ids = skewed_ids(5000, 7);
+  sketch scalar(1000, 8, 1.0 / 16, /*seed=*/9);
+  sketch mixed(1000, 8, 1.0 / 16, /*seed=*/9);
+  for (const auto id : ids) scalar.update(id);
+
+  std::size_t i = 0;
+  for (; i < 2000; ++i) mixed.update(ids[i]);
+  mixed.update_batch(std::span<const std::uint64_t>(ids.data() + i, 1111));
+  i += 1111;
+  for (; i < ids.size(); ++i) mixed.update(ids[i]);
+  expect_identical(scalar, mixed);
+}
+
+TEST(BatchEquivalence, TinyWindowDegenerateGeometry) {
+  // W rounds up to k*block; k = 1 gives a 2-slot ring and threshold 1 (every
+  // sampled add overflows) - the degenerate geometry where off-by-one
+  // boundary bugs in the run segmentation would surface.
+  const auto ids = skewed_ids(600, 3);
+  for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    sketch scalar(5, k, 1.0, /*seed=*/2);
+    sketch batched(5, k, 1.0, /*seed=*/2);
+    for (const auto id : ids) scalar.update(id);
+    for (std::size_t i = 0; i < ids.size(); i += 17) {
+      batched.update_batch(ids.data() + i, std::min<std::size_t>(17, ids.size() - i));
+    }
+    SCOPED_TRACE("k=" + std::to_string(k));
+    expect_identical(scalar, batched);
+  }
+}
+
+TEST(BatchEquivalence, HMementoBatchMatchesScalar) {
+  // The composite-sampler kernel: h_memento draws its own decisions and
+  // random generalizations; batch and scalar must consume sampler and rng
+  // identically and produce the same HHH output.
+  trace_generator gen(trace_kind::datacenter, 11);
+  std::vector<packet> packets;
+  for (int i = 0; i < 4000; ++i) packets.push_back(gen.next());
+
+  for (int inv_tau : {1, 16}) {
+    h_memento<source_hierarchy> scalar(1000, 8 * source_hierarchy::hierarchy_size,
+                                       1.0 / inv_tau, 1e-3, /*seed=*/4);
+    h_memento<source_hierarchy> batched(1000, 8 * source_hierarchy::hierarchy_size,
+                                        1.0 / inv_tau, 1e-3, /*seed=*/4);
+    for (const auto& p : packets) scalar.update(p);
+    for (std::size_t i = 0; i < packets.size(); i += 300) {
+      batched.update_batch(packets.data() + i, std::min<std::size_t>(300, packets.size() - i));
+    }
+    SCOPED_TRACE("tau=1/" + std::to_string(inv_tau));
+    ASSERT_EQ(scalar.stream_length(), batched.stream_length());
+    const auto out_a = scalar.output(0.05);
+    const auto out_b = batched.output(0.05);
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (std::size_t i = 0; i < out_a.size(); ++i) {
+      ASSERT_EQ(out_a[i].key, out_b[i].key);
+      ASSERT_DOUBLE_EQ(out_a[i].conditioned_frequency, out_b[i].conditioned_frequency);
+      ASSERT_DOUBLE_EQ(out_a[i].upper_estimate, out_b[i].upper_estimate);
+    }
+  }
+}
+
+TEST(BatchEquivalence, EmptyAndSingleElementBatches) {
+  sketch scalar(100, 4, 0.5, /*seed=*/1);
+  sketch batched(100, 4, 0.5, /*seed=*/1);
+  const auto ids = skewed_ids(300, 1);
+  for (const auto id : ids) scalar.update(id);
+  batched.update_batch(ids.data(), 0);  // no-op
+  for (const auto id : ids) batched.update_batch(&id, 1);
+  expect_identical(scalar, batched);
+}
+
+}  // namespace
+}  // namespace memento
