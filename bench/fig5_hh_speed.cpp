@@ -10,15 +10,20 @@
 // (kBurst packets) through update_batch(). Both process the identical
 // stream and end in identical sketch state; the delta is pure hot-path
 // mechanics (pre-drawn sampling, chunked hashing + prefetch, hoisted
-// window bookkeeping). bench/summarize.py reduces the JSON output of this
-// binary into BENCH_fig5.json, the per-PR throughput trajectory artifact.
+// window bookkeeping). `fig5/hh_speed_sharded` adds the multicore axis:
+// the same bursts through sharded_memento_pool at N = 1..8 shards, wall-
+// clock timed (scaling requires >= N physical cores to show). bench/
+// summarize.py reduces the JSON output of this binary into BENCH_fig5.json,
+// the per-PR throughput trajectory artifact, including the scaling curve.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
 #include "core/memento.hpp"
+#include "shard/shard_pool.hpp"
 #include "trace/trace_generator.hpp"
 
 namespace {
@@ -88,6 +93,51 @@ void hh_speed_batch(benchmark::State& state) {
                  "/tau=1/" + std::to_string(state.range(2)) + "/burst=" + std::to_string(kBurst));
 }
 
+// Sharded variant: the same stream pushed through sharded_memento_pool with
+// N worker threads (args: kind, counters, inv_tau, shards). Window and
+// counter budgets are GLOBAL (divided across shards), so the N = 1 row is
+// the single-instance batch pipeline plus partition/queue overhead and the
+// N > 1 rows measure genuine multicore scaling. Each iteration ingests the
+// full trace in NIC bursts and drains, so queue flush time is inside the
+// measurement. bench/summarize.py turns these rows into the scaling curve
+// recorded in BENCH_fig5.json (speedup vs N=1 and vs the batch baseline).
+void hh_speed_sharded(benchmark::State& state) {
+  const auto kind = static_cast<trace_kind>(state.range(0));
+  const auto counters = static_cast<std::size_t>(state.range(1));
+  const double tau = 1.0 / static_cast<double>(state.range(2));
+  const auto shards = static_cast<std::size_t>(state.range(3));
+
+  const auto& ids = trace_ids(kind);
+  shard_config cfg;
+  cfg.window_size = kWindow;
+  cfg.counters = counters;
+  cfg.tau = tau;
+  cfg.seed = 1;
+  cfg.shards = shards;
+  sharded_memento_pool<std::uint64_t> pool(cfg);
+
+  // Mpps is computed against WALL time accumulated by hand: the kIsRate
+  // counter divides by the main thread's CPU time, which misstates a
+  // pipeline whose work happens on N worker threads.
+  double elapsed = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ids.size(); i += kBurst) {
+      pool.ingest(ids.data() + i, std::min(kBurst, ids.size() - i));
+    }
+    pool.drain();
+    elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    benchmark::DoNotOptimize(pool.frontend().stream_length());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ids.size()));
+  state.counters["Mpps"] =
+      static_cast<double>(state.iterations()) * static_cast<double>(ids.size()) / 1e6 / elapsed;
+  state.SetLabel(std::string(trace_name(kind)) + "/k=" + std::to_string(counters) +
+                 "/tau=1/" + std::to_string(state.range(2)) + "/burst=" + std::to_string(kBurst) +
+                 "/shards=" + std::to_string(shards));
+}
+
 void register_all() {
   for (int kind = 0; kind < 3; ++kind) {
     for (std::int64_t counters : {64, 512, 4096}) {
@@ -100,6 +150,17 @@ void register_all() {
             ->Args({kind, counters, inv_tau})
             ->MinTime(0.1)
             ->Unit(benchmark::kMillisecond);
+      }
+    }
+    // Core-scaling sweep at the paper's middle counter budget; thread
+    // startup sits outside the measured loop, queue drain inside it.
+    for (std::int64_t inv_tau : {1, 16, 256}) {
+      for (std::int64_t shards : {1, 2, 4, 8}) {
+        benchmark::RegisterBenchmark("fig5/hh_speed_sharded", hh_speed_sharded)
+            ->Args({kind, 512, inv_tau, shards})
+            ->MinTime(0.1)
+            ->Unit(benchmark::kMillisecond)
+            ->UseRealTime();  // wall clock, not per-thread CPU, for scaling
       }
     }
   }

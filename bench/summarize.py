@@ -8,8 +8,13 @@ Usage:
 The reducer keeps one record per benchmark config (name, label, Mpps) and,
 whenever a family has both a scalar and a `_batch` variant with the same
 args (e.g. `fig5/hh_speed/0/512/1` and `fig5/hh_speed_batch/0/512/1`), emits
-a pair entry with the batch-over-scalar speedup. The output is stable-sorted
-and pretty-printed so diffs across PRs read as a throughput trajectory.
+a pair entry with the batch-over-scalar speedup. `_sharded` rows (args
+`kind/counters/inv_tau/shards`) are additionally folded into a `scaling`
+section: one record per (kind, counters, inv_tau) with the per-N Mpps, the
+speedup of each N over the N=1 sharded row, and the speedup of each N over
+the single-instance `_batch` baseline at the same args - the multicore
+scaling curve. The output is stable-sorted and pretty-printed so diffs
+across PRs read as a throughput trajectory.
 """
 
 from __future__ import annotations
@@ -20,8 +25,18 @@ import sys
 
 
 def split_name(name: str) -> tuple[str, str]:
-    """'fig5/hh_speed_batch/0/512/1/min_time:0.1' -> ('fig5/hh_speed_batch', '0/512/1')."""
-    parts = [p for p in name.split("/") if not p.startswith("min_time:")]
+    """'fig5/hh_speed_batch/0/512/1/min_time:0.1' -> ('fig5/hh_speed_batch', '0/512/1').
+
+    Google Benchmark appends modifier tokens ('min_time:0.1', 'real_time',
+    'process_time', 'threads:4') after the args; drop them so scalar, batch
+    and sharded rows key on comparable arg strings.
+    """
+    modifiers = {"real_time", "process_time"}
+    parts = [
+        p
+        for p in name.split("/")
+        if p not in modifiers and not p.startswith("min_time:") and not p.startswith("threads:")
+    ]
     family = "/".join(parts[:2]) if len(parts) >= 2 else parts[0]
     args = "/".join(parts[2:])
     return family, args
@@ -65,6 +80,40 @@ def reduce_benchmarks(raw: dict) -> dict:
             }
         )
 
+    # Multicore scaling: group `_sharded` rows (args kind/counters/inv_tau/N)
+    # by base config; report per-N throughput, speedup vs the N=1 sharded row
+    # and vs the single-instance batch baseline with the same base args.
+    sharded = {}
+    for e in entries:
+        if not e["family"].endswith("_sharded") or e["mpps"] is None:
+            continue
+        parts = e["args"].split("/")
+        if len(parts) != 4:
+            continue
+        base = "/".join(parts[:3])
+        sharded.setdefault((e["family"], base), {})[int(parts[3])] = e
+    scaling = []
+    for (family, base), by_n in sorted(sharded.items()):
+        one = by_n.get(1)
+        batch = by_key.get((family.replace("_sharded", "_batch"), base))
+        points = []
+        for n in sorted(by_n):
+            e = by_n[n]
+            point = {"shards": n, "mpps": e["mpps"]}
+            if one and one["mpps"]:
+                point["speedup_vs_1shard"] = round(e["mpps"] / one["mpps"], 3)
+            if batch and batch["mpps"]:
+                point["speedup_vs_batch_baseline"] = round(e["mpps"] / batch["mpps"], 3)
+            points.append(point)
+        scaling.append(
+            {
+                "config": f"{family}/{base}",
+                # One label for the whole N-sweep: drop the per-row shard count.
+                "label": by_n[min(by_n)]["label"].rsplit("/shards=", 1)[0],
+                "points": points,
+            }
+        )
+
     context = raw.get("context", {})
     return {
         "generated_by": "bench/summarize.py",
@@ -75,6 +124,7 @@ def reduce_benchmarks(raw: dict) -> dict:
         },
         "entries": entries,
         "pairs": pairs,
+        "scaling": scaling,
     }
 
 

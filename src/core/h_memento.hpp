@@ -162,6 +162,12 @@ class h_memento {
   [[nodiscard]] double tau() const noexcept { return inner_.tau(); }
   [[nodiscard]] double delta() const noexcept { return delta_; }
   [[nodiscard]] std::uint64_t stream_length() const noexcept { return inner_.stream_length(); }
+  /// Window-phase accessor (see memento_sketch::window_phase); lets a shard
+  /// frontend monitor per-shard phase skew without reaching through inner().
+  /// (Candidate iteration for HHH output deliberately stays on
+  /// inner().monitored_keys(): the HHH candidate set must include keys with
+  /// only in-frame state, which the overflow-table hook does not visit.)
+  [[nodiscard]] std::uint64_t window_phase() const noexcept { return inner_.window_phase(); }
   [[nodiscard]] const memento_sketch<key_type>& inner() const noexcept { return inner_; }
 
  private:

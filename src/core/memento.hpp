@@ -237,15 +237,29 @@ class memento_sketch {
   /// window heavy hitter (every such flow overflows within the window).
   [[nodiscard]] std::vector<heavy_hitter> heavy_hitters(double theta) const {
     std::vector<heavy_hitter> out;
+    out.reserve(overflows_.size());
     const double bar = theta * static_cast<double>(frame_len_);
-    overflows_.for_each([&](const Key& key, std::uint32_t) {
-      const double est = query(key);
+    for_each_candidate([&](const Key& key, double est) {
       if (est >= bar) out.push_back({key, est});
     });
     std::sort(out.begin(), out.end(),
               [](const heavy_hitter& a, const heavy_hitter& b) { return a.estimate > b.estimate; });
     return out;
   }
+
+  /// Iterates the candidate set (overflow-table entries - exactly the flows
+  /// that accumulated at least one block within the window) without
+  /// materializing a vector: fn(key, upper_estimate). The sharded frontend's
+  /// merge path filters each shard's candidates in place through this hook,
+  /// so a query across N shards allocates one output vector, not N+1.
+  template <typename Fn>
+  void for_each_candidate(Fn&& fn) const {
+    overflows_.for_each([&](const Key& key, std::uint32_t) { fn(key, query(key)); });
+  }
+
+  /// Number of candidates for_each_candidate will visit; merge paths use it
+  /// to reserve() their output exactly once.
+  [[nodiscard]] std::size_t candidate_count() const noexcept { return overflows_.size(); }
 
   /// The k flows with the largest window estimates (ties broken
   /// arbitrarily). Candidates are the overflow-table entries - exactly the
@@ -255,9 +269,7 @@ class memento_sketch {
   [[nodiscard]] std::vector<heavy_hitter> top(std::size_t k) const {
     std::vector<heavy_hitter> all;
     all.reserve(overflows_.size());
-    overflows_.for_each([&](const Key& key, std::uint32_t) {
-      all.push_back({key, query(key)});
-    });
+    for_each_candidate([&](const Key& key, double est) { all.push_back({key, est}); });
     const std::size_t keep = std::min(k, all.size());
     std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(keep),
                       all.end(), [](const heavy_hitter& a, const heavy_hitter& b) {
@@ -284,6 +296,10 @@ class memento_sketch {
   /// Effective window size (W rounded up to a multiple of k; see ctor).
   [[nodiscard]] std::uint64_t window_size() const noexcept { return frame_len_; }
   [[nodiscard]] std::uint64_t block_length() const noexcept { return block_len_; }
+  /// Position within the current frame (M in Algorithm 1: packets since the
+  /// last frame flush, in [0, window_size())). The sharded frontend reads
+  /// this to measure window-phase skew across shards.
+  [[nodiscard]] std::uint64_t window_phase() const noexcept { return clock_; }
   [[nodiscard]] std::uint64_t overflow_threshold() const noexcept { return threshold_; }
   [[nodiscard]] std::size_t counters() const noexcept { return k_; }
   [[nodiscard]] double tau() const noexcept { return tau_; }

@@ -1,0 +1,85 @@
+// Keyspace partitioner for the sharded Memento frontend.
+//
+// Sharding Memento across cores is a *keyspace* partition, not a packet
+// spray: every packet of a flow must land on the same shard, or no shard
+// sees the flow's full window frequency and the merged answers stop being
+// one-sided. The partitioner is therefore a pure function of the flow key -
+// deterministic across calls, processes, and machines for a given shard
+// count - and the whole frontend inherits replayability from it.
+//
+// Hashing reuses the mix64 avalanche that flat_hash builds its buckets from
+// (util/random.hpp), with two decorrelation twists:
+//   * a fixed salt is XORed into the raw std::hash value *before* the
+//     avalanche, so the partitioner's bit-mixing trajectory differs from
+//     flat_hash::bucket_of even though both finish with mix64;
+//   * the shard index is taken from the *high* bits via fastrange64
+//     (multiply-shift), while flat_hash masks the low bits - so even with
+//     an identical avalanche the two selections would stay independent.
+// Without this, keys colliding into one shard could systematically collide
+// inside that shard's counter index too, concentrating probe chains.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace memento {
+
+/// Per-shard seed derivation shared by every sharded frontend: the base
+/// seed XOR-folded with a per-shard odd multiple of phi64, then avalanched,
+/// so shards never sample in lockstep. One definition on purpose -
+/// differential tests reconstruct standalone per-shard references from it.
+[[nodiscard]] constexpr std::uint64_t shard_seed(std::uint64_t base, std::size_t shard) noexcept {
+  return mix64(base ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+}
+
+/// Even split of a global budget (window packets, counters) across shards:
+/// ceil(total / shards), floored at 1 so degenerate budgets stay legal.
+[[nodiscard]] constexpr std::uint64_t shard_share(std::uint64_t total,
+                                                 std::size_t shards) noexcept {
+  const std::uint64_t n = shards > 0 ? shards : 1;
+  const std::uint64_t share = (total + n - 1) / n;
+  return share > 0 ? share : 1;
+}
+
+/// The burst partition pass shared by every sharded frontend: reset the
+/// per-shard scratch buffers (capacity retained) and append each item to its
+/// owner's buffer, preserving arrival order within each shard. shard_of is
+/// any item -> shard index function (a shard_partitioner, or a routing-key
+/// composition as in the hierarchical frontend).
+template <typename Item, typename ShardOf>
+void partition_into(std::vector<std::vector<Item>>& scratch, const ShardOf& shard_of,
+                    const Item* items, std::size_t n) {
+  for (auto& buf : scratch) buf.clear();
+  for (std::size_t i = 0; i < n; ++i) scratch[shard_of(items[i])].push_back(items[i]);
+}
+
+template <typename Key, typename Hash = std::hash<Key>>
+class shard_partitioner {
+ public:
+  /// @param shards number of shards (>= 1).
+  explicit shard_partitioner(std::size_t shards) : shards_(shards) {
+    if (shards == 0) throw std::invalid_argument("shard_partitioner: shards must be >= 1");
+  }
+
+  /// Owning shard of x, in [0, shards()). Pure and O(1).
+  [[nodiscard]] std::size_t operator()(const Key& x) const noexcept {
+    return static_cast<std::size_t>(
+        fastrange64(mix64(static_cast<std::uint64_t>(Hash{}(x)) ^ kSalt), shards_));
+  }
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+
+ private:
+  /// Arbitrary odd constant (phi64 with halves swapped); decorrelates the
+  /// partition hash from flat_hash's bucket hash of the same key.
+  static constexpr std::uint64_t kSalt = 0x7f4a7c159e3779b9ULL;
+
+  std::uint64_t shards_;
+};
+
+}  // namespace memento

@@ -1,0 +1,191 @@
+// Threaded ingest pool over a sharded_memento: one worker thread per shard,
+// one SPSC ring per shard, zero locks on the packet path.
+//
+// Dataflow:
+//
+//   caller thread                      worker s (one per shard)
+//   ─────────────                      ────────────────────────
+//   ingest(burst)                      loop:
+//     partition burst by key   ──►       span = ring[s].front_span()
+//     push each shard's keys              shard_mut(s).update_batch(span)
+//     into ring[s] (SPSC)                 ring[s].pop(|span|)
+//
+// The caller is the single producer of every ring and worker s is the single
+// consumer of ring s AND the only thread that ever mutates shard s - the
+// ownership discipline that makes the pool data-race-free with nothing but
+// the rings' acquire/release pairs (verified under TSan in CI). Workers
+// consume the longest contiguous run available, so bursts self-batch toward
+// ring capacity under load - the busier the pipeline, the better the batch
+// kernel amortizes.
+//
+// Queries: call drain() first. It blocks until every ring reports drained()
+// (the consumer's release-pop on an empty ring happens-after its last sketch
+// mutation, so observing empty with acquire semantics proves the shard state
+// is visible to the caller); after that the underlying deterministic
+// frontend can be read from the calling thread until the next ingest().
+// State after drain() is bit-identical to the deterministic frontend fed the
+// same stream - partitioning happens on the caller thread in arrival order,
+// so each shard consumes its owned subsequence in order; only the burst
+// boundaries differ, which the batch kernel guarantees is unobservable.
+//
+// Backoff: an empty worker spins briefly, then yields, then parks in
+// exponentially growing sleeps (capped at 128us), so idle shards cost ~0 CPU
+// and the pool degrades gracefully when threads exceed cores.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "shard/sharded_memento.hpp"
+#include "shard/spsc_queue.hpp"
+
+namespace memento {
+
+template <typename Key = std::uint64_t>
+class sharded_memento_pool {
+ public:
+  using frontend_type = sharded_memento<Key>;
+  using heavy_hitter = typename frontend_type::heavy_hitter;
+
+  /// Spawns config.shards workers. @param ring_capacity per-shard ring slots
+  /// (rounded up to a power of two); 2^15 keys = 256 KiB per shard default.
+  explicit sharded_memento_pool(const shard_config& config, std::size_t ring_capacity = 1u << 15)
+      : core_(config), scratch_(config.shards) {
+    rings_.reserve(config.shards);
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      rings_.push_back(std::make_unique<spsc_ring<Key>>(ring_capacity));
+    }
+    workers_.reserve(config.shards);
+    try {
+      for (std::size_t s = 0; s < config.shards; ++s) {
+        workers_.emplace_back([this, s] { worker_loop(s); });
+      }
+    } catch (...) {
+      // Thread spawn failed partway: stop and join what exists, or the
+      // vector of joinable threads would std::terminate during unwinding.
+      stop_.store(true, std::memory_order_release);
+      for (auto& w : workers_) w.join();
+      throw;
+    }
+  }
+
+  /// Drains outstanding work, then stops and joins every worker.
+  ~sharded_memento_pool() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : workers_) w.join();
+  }
+
+  sharded_memento_pool(const sharded_memento_pool&) = delete;
+  sharded_memento_pool& operator=(const sharded_memento_pool&) = delete;
+
+  /// Partitions a burst and enqueues each shard's keys in arrival order.
+  /// Blocks (yielding) while rings are full - backpressure, not drops: the
+  /// sketch's guarantees are about the stream it saw, so the ingest path
+  /// must be lossless for the window semantics to mean anything. Full rings
+  /// are revisited round-robin rather than head-of-line: a slow shard must
+  /// not keep the other shards' already-partitioned keys undelivered.
+  void ingest(const Key* xs, std::size_t n) {
+    partition_into(scratch_, core_.partitioner(), xs, n);
+    offsets_.assign(rings_.size(), 0);
+    std::size_t remaining = 0;
+    for (const auto& buf : scratch_) remaining += buf.size();
+    while (remaining > 0) {
+      bool progress = false;
+      for (std::size_t s = 0; s < rings_.size(); ++s) {
+        const std::size_t left = scratch_[s].size() - offsets_[s];
+        if (left == 0) continue;
+        const std::size_t pushed =
+            rings_[s]->try_push(scratch_[s].data() + offsets_[s], left);
+        offsets_[s] += pushed;
+        remaining -= pushed;
+        if (pushed > 0) progress = true;
+      }
+      if (!progress) std::this_thread::yield();
+    }
+  }
+
+  void ingest(std::span<const Key> xs) { ingest(xs.data(), xs.size()); }
+
+  /// Blocks until every enqueued packet has been applied to its shard. After
+  /// drain() returns (and until the next ingest) the calling thread may read
+  /// the frontend - including through the passthroughs below.
+  void drain() const {
+    for (const auto& ring : rings_) {
+      while (!ring->drained()) std::this_thread::yield();
+    }
+  }
+
+  /// The underlying deterministic frontend. Only valid to read between
+  /// drain() and the next ingest() (enforced by discipline, not locks).
+  [[nodiscard]] const frontend_type& frontend() const noexcept { return core_; }
+
+  // --- post-drain query passthroughs (each drains first for safety) --------
+
+  [[nodiscard]] double query(const Key& x) const {
+    drain();
+    return core_.query(x);
+  }
+  [[nodiscard]] double query_lower(const Key& x) const {
+    drain();
+    return core_.query_lower(x);
+  }
+  [[nodiscard]] std::vector<heavy_hitter> heavy_hitters(double theta) const {
+    drain();
+    return core_.heavy_hitters(theta);
+  }
+  [[nodiscard]] std::vector<heavy_hitter> top(std::size_t k) const {
+    drain();
+    return core_.top(k);
+  }
+  [[nodiscard]] std::uint64_t stream_length() const {
+    drain();
+    return core_.stream_length();
+  }
+
+  [[nodiscard]] std::size_t num_shards() const noexcept { return core_.num_shards(); }
+
+ private:
+  void worker_loop(std::size_t s) {
+    spsc_ring<Key>& ring = *rings_[s];
+    auto& shard = core_.shard_mut(s);
+    std::uint32_t idle = 0;
+    for (;;) {
+      const auto [data, n] = ring.front_span();
+      if (n == 0) {
+        // Check stop only when empty: enqueued work is always finished, so
+        // the destructor doubles as a drain.
+        if (stop_.load(std::memory_order_acquire)) return;
+        backoff(idle++);
+        continue;
+      }
+      idle = 0;
+      shard.update_batch(data, n);
+      ring.pop(n);
+    }
+  }
+
+  static void backoff(std::uint32_t idle) {
+    if (idle < 16) {
+      // brief spin: the producer is usually mid-burst
+    } else if (idle < 64) {
+      std::this_thread::yield();
+    } else {
+      const std::uint32_t exp = idle - 64 < 7 ? idle - 64 : 7;
+      std::this_thread::sleep_for(std::chrono::microseconds(1u << exp));  // caps at 128us
+    }
+  }
+
+  frontend_type core_;
+  std::vector<std::unique_ptr<spsc_ring<Key>>> rings_;
+  std::vector<std::vector<Key>> scratch_;  ///< producer-side burst partitions
+  std::vector<std::size_t> offsets_;       ///< per-shard delivered prefix of scratch_
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace memento

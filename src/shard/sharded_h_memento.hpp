@@ -1,0 +1,178 @@
+// Sharded H-Memento smoke path for FLAT ONE-DIMENSIONAL hierarchies.
+//
+// Why general HHH sharding is harder than plain HH sharding - and therefore
+// deferred: sharded_memento partitions by the fully-specified flow key, which
+// works because a flow's packets are the only contributors to its counter. A
+// hierarchical prefix, by contrast, aggregates MANY flows; hashing flows
+// across shards would scatter every prefix's mass over all N shards, turning
+// each query into an N-way sum of one-sided estimates (error bars add, so
+// accuracy degrades linearly with N) and entangling the per-shard windows.
+// The 2D lattice makes it worse: src- and dst-rooted generalizations impose
+// incompatible partitions, so no single keyspace hash keeps both aligned.
+//
+// For a flat 1-D hierarchy there is a clean special case, implemented here:
+// route by the COARSEST NON-ROOT generalization (the /8 prefix for the
+// 5-level source hierarchy). All of a packet's non-root prefixes share its
+// /8 octet by construction, so every non-root prefix keeps its full mass on
+// exactly one shard and point queries still route - same mergeability as the
+// flat frontend, same per-shard one-sided bounds. Only the root (/0)
+// aggregates across shards; its bounds are answered by summation (a sum of
+// per-shard one-sided bounds is a one-sided bound for the union), which is
+// benign since the root covers the whole window and is trivially a heavy
+// hitter at any theta < 1.
+//
+// Caveats vs a single H-Memento (this is a smoke path, not the tuned
+// production route): the keyspace partition is over 256 /8 octets - coarse,
+// so a trace concentrated in few /8s shards unevenly (real backbone traces
+// spread widely; the synthetic traces scramble ranks uniformly); and the
+// HHH output walk runs over the union candidate set with per-shard
+// compensation, so admission error at the root level sums across shards.
+// A production design would rebalance octet->shard assignment by observed
+// load; that is future work tracked in ROADMAP.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "core/h_memento.hpp"
+#include "hierarchy/prefix1d.hpp"
+#include "shard/partitioner.hpp"
+
+namespace memento {
+
+template <typename H = source_hierarchy>
+class sharded_h_memento {
+  static_assert(!H::two_dimensional,
+                "sharded_h_memento: only flat 1-D hierarchies shard cleanly (see header)");
+  static_assert(std::is_same_v<typename H::key_type, std::uint64_t>,
+                "sharded_h_memento: routing uses the prefix1d uint64 key encoding");
+
+ public:
+  using key_type = typename H::key_type;
+  using hhh_result = typename h_memento<H>::hhh_result;
+
+  /// Depth of the routing level: the coarsest non-root generalization.
+  static constexpr std::size_t kRouteDepth = H::num_levels - 2;
+  /// Depth of the root (full wildcard), answered by summation.
+  static constexpr std::size_t kRootDepth = H::num_levels - 1;
+
+  /// @param config global budgets, divided evenly (as in sharded_memento):
+  /// each shard runs an h_memento with W/N window and k/N counters.
+  sharded_h_memento(const h_memento_config& config, std::size_t shards) : part_(shards) {
+    if (shards == 0) throw std::invalid_argument("sharded_h_memento: shards must be >= 1");
+    if (config.window_size == 0 || config.counters == 0) {
+      throw std::invalid_argument("sharded_h_memento: W and counters must be >= 1");
+    }
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.emplace_back(shard_config_for(config, shards, s));
+    }
+    scratch_.resize(shards);
+  }
+
+  /// The h_memento_config shard s runs with: the same budget split and seed
+  /// derivation as sharded_memento::shard_config_for (shared helpers in
+  /// partitioner.hpp), exposed for standalone per-shard references.
+  [[nodiscard]] static h_memento_config shard_config_for(const h_memento_config& config,
+                                                         std::size_t shards, std::size_t shard) {
+    h_memento_config c = config;
+    c.window_size = shard_share(config.window_size, shards);
+    c.counters = static_cast<std::size_t>(shard_share(config.counters, shards));
+    c.seed = shard_seed(config.seed, shard);
+    return c;
+  }
+
+  /// Owning shard of a packet: hash of its routing-level prefix.
+  [[nodiscard]] std::size_t shard_of(const packet& p) const noexcept {
+    return part_(H::key_at(p, kRouteDepth));
+  }
+
+  /// Owning shard of a non-root prefix key (the root has no single owner).
+  [[nodiscard]] std::size_t shard_of_key(key_type k) const noexcept {
+    return part_(prefix1d::make_key(prefix1d::key_addr(k), kRouteDepth));
+  }
+
+  void update(const packet& p) { shards_[shard_of(p)].update(p); }
+
+  /// Burst ingest: partition by routing prefix, feed each shard's
+  /// h_memento::update_batch (which drives the inner batch kernel).
+  void update_batch(const packet* ps, std::size_t n) {
+    if (shards_.size() == 1) {
+      shards_[0].update_batch(ps, n);
+      return;
+    }
+    partition_into(scratch_, [this](const packet& p) { return shard_of(p); }, ps, n);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!scratch_[s].empty()) shards_[s].update_batch(scratch_[s].data(), scratch_[s].size());
+    }
+  }
+
+  void update_batch(std::span<const packet> ps) { update_batch(ps.data(), ps.size()); }
+
+  /// One-sided window-frequency upper bound for a prefix: routed for
+  /// non-root prefixes, summed across shards for the root.
+  [[nodiscard]] double query(key_type prefix) const {
+    if (H::depth(prefix) == kRootDepth) {
+      double sum = 0.0;
+      for (const auto& shard : shards_) sum += shard.query(prefix);
+      return sum;
+    }
+    return shards_[shard_of_key(prefix)].query(prefix);
+  }
+
+  /// Matching lower bound (routed; summed for the root).
+  [[nodiscard]] double query_lower(key_type prefix) const {
+    if (H::depth(prefix) == kRootDepth) {
+      double sum = 0.0;
+      for (const auto& shard : shards_) sum += shard.query_lower(prefix);
+      return sum;
+    }
+    return shards_[shard_of_key(prefix)].query_lower(prefix);
+  }
+
+  /// Approximate window HHH set at threshold theta: the shared lattice walk
+  /// (solve_hhh) over the UNION of per-shard candidate sets, with the routed
+  /// bound oracle above. Thresholding is against the global window; the
+  /// sampling compensation is per-shard (all shards share one geometry).
+  [[nodiscard]] hhh_result output(double theta) const {
+    std::vector<key_type> candidates;
+    for (const auto& shard : shards_) {
+      auto keys = shard.inner().monitored_keys();
+      candidates.insert(candidates.end(), keys.begin(), keys.end());
+    }
+    const double threshold = theta * static_cast<double>(window_size());
+    return solve_hhh<H>(
+        std::move(candidates),
+        [this](const key_type& k) {
+          return freq_bounds{query(k), query_lower(k)};
+        },
+        threshold, shards_[0].sampling_compensation());
+  }
+
+  /// Effective global window (sum of the shards' rounded windows).
+  [[nodiscard]] std::uint64_t window_size() const noexcept {
+    std::uint64_t w = 0;
+    for (const auto& shard : shards_) w += shard.window_size();
+    return w;
+  }
+
+  [[nodiscard]] std::uint64_t stream_length() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& shard : shards_) n += shard.stream_length();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] const h_memento<H>& shard(std::size_t s) const noexcept { return shards_[s]; }
+
+ private:
+  shard_partitioner<key_type> part_;
+  std::vector<h_memento<H>> shards_;
+  std::vector<std::vector<packet>> scratch_;
+};
+
+}  // namespace memento

@@ -41,6 +41,16 @@ namespace memento {
   return mix64(state);
 }
 
+/// Maps a uniform 64-bit value into [0, n) without modulo bias or division
+/// (Lemire's multiply-shift reduction). Consumes the *high* bits of x, so it
+/// composes with mix64 even when a power-of-two consumer (flat_hash) is
+/// already using the low bits of the same avalanche - the shard partitioner
+/// relies on exactly that independence.
+[[nodiscard]] constexpr std::uint64_t fastrange64(std::uint64_t x, std::uint64_t n) noexcept {
+  __extension__ using uint128 = unsigned __int128;
+  return static_cast<std::uint64_t>((static_cast<uint128>(x) * n) >> 64);
+}
+
 /// xoshiro256** by Blackman & Vigna: 256-bit state, period 2^256 - 1.
 /// Satisfies the C++ UniformRandomBitGenerator requirements so it can be used
 /// with <random> distributions in non-hot-path code.
@@ -78,10 +88,7 @@ class xoshiro256 {
 
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
   [[nodiscard]] std::uint64_t bounded(std::uint64_t bound) noexcept {
-    __extension__ using uint128 = unsigned __int128;
-    const auto x = (*this)();
-    const auto m = static_cast<uint128>(x) * bound;
-    return static_cast<std::uint64_t>(m >> 64);
+    return fastrange64((*this)(), bound);
   }
 
  private:

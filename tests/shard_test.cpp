@@ -1,0 +1,613 @@
+// Sharded-frontend suite.
+//
+// The load-bearing property is *differential*: sharded_memento with N shards
+// must answer exactly like N standalone memento_sketch references, each
+// configured with shard_config_for(cfg, s) and fed the subsequence of keys
+// the partitioner assigns to shard s. That licenses every merge shortcut
+// (concatenate + global-threshold filter, no cross-shard summation) and
+// makes the threaded pool testable: after drain() it must be bit-identical
+// to the deterministic frontend fed the same stream.
+//
+// The statistical properties - phase drift across per-shard window clocks,
+// and recall/precision on skewed (Zipf 0.6-1.2) traffic staying within the
+// configured epsilon of a single big instance - are pinned with fixed seeds
+// so the assertions are deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/memento.hpp"
+#include "hierarchy/prefix1d.hpp"
+#include "shard/partitioner.hpp"
+#include "shard/shard_pool.hpp"
+#include "shard/sharded_h_memento.hpp"
+#include "shard/sharded_memento.hpp"
+#include "shard/spsc_queue.hpp"
+#include "sketch/exact_window.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace memento {
+namespace {
+
+using sketch = memento_sketch<std::uint64_t>;
+using sharded = sharded_memento<std::uint64_t>;
+
+std::vector<std::uint64_t> skewed_ids(std::size_t n, double alpha, std::uint64_t seed,
+                                      std::size_t universe = 1u << 12) {
+  trace_generator gen(trace_config{universe, alpha, seed, 0});
+  std::vector<std::uint64_t> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(flow_id(gen.next()));
+  return ids;
+}
+
+/// Full observable-state equality between two memento instances (the same
+/// yardstick batch_test.cpp uses, factored for per-shard comparison).
+void expect_identical(const sketch& a, const sketch& b) {
+  ASSERT_EQ(a.stream_length(), b.stream_length());
+  ASSERT_EQ(a.forced_drains(), b.forced_drains());
+  ASSERT_EQ(a.overflow_entries(), b.overflow_entries());
+  ASSERT_EQ(a.window_phase(), b.window_phase());
+  const auto keys_a = a.monitored_keys();
+  ASSERT_EQ(keys_a, b.monitored_keys());
+  for (const auto& k : keys_a) {
+    ASSERT_DOUBLE_EQ(a.query(k), b.query(k)) << "key " << k;
+    ASSERT_DOUBLE_EQ(a.query_lower(k), b.query_lower(k)) << "key " << k;
+  }
+}
+
+// --- partitioner -----------------------------------------------------------
+
+TEST(ShardPartitioner, DeterministicInRangeAndRoughlyUniform) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    shard_partitioner<std::uint64_t> part(n);
+    std::vector<std::size_t> hist(n, 0);
+    for (std::uint64_t x = 0; x < 64000; ++x) {
+      const std::size_t s = part(x);
+      ASSERT_LT(s, n);
+      ASSERT_EQ(s, part(x));  // pure function
+      ++hist[s];
+    }
+    // Uniformity: each shard within 10% of the ideal share (64000/n draws of
+    // a mixed hash; binomial sd is far below this for every n tested).
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_NEAR(static_cast<double>(hist[s]), 64000.0 / static_cast<double>(n),
+                  0.1 * 64000.0 / static_cast<double>(n))
+          << "shard " << s << "/" << n;
+    }
+  }
+  EXPECT_THROW(shard_partitioner<std::uint64_t>(0), std::invalid_argument);
+}
+
+TEST(ShardPartitioner, DecorrelatedFromFlatHashBuckets) {
+  // Keys colliding into one shard must not collide inside flat_hash too:
+  // among keys owned by shard 0 of 4, the low avalanche bits (which
+  // flat_hash masks into buckets) should still be ~uniform.
+  shard_partitioner<std::uint64_t> part(4);
+  std::vector<std::size_t> low3(8, 0);
+  std::size_t owned = 0;
+  for (std::uint64_t x = 0; x < 100000; ++x) {
+    if (part(x) != 0) continue;
+    ++owned;
+    ++low3[mix64(std::hash<std::uint64_t>{}(x)) & 7];
+  }
+  ASSERT_GT(owned, 20000u);
+  for (std::size_t b = 0; b < 8; ++b) {
+    EXPECT_NEAR(static_cast<double>(low3[b]), static_cast<double>(owned) / 8.0,
+                0.1 * static_cast<double>(owned) / 8.0);
+  }
+}
+
+// --- SPSC ring -------------------------------------------------------------
+
+TEST(SpscRing, SingleThreadWrapAround) {
+  spsc_ring<std::uint64_t> ring(8);  // rounds to 8 slots
+  ASSERT_EQ(ring.capacity(), 8u);
+  std::uint64_t next_val = 0, expect = 0;
+  for (int round = 0; round < 100; ++round) {
+    // Push 5, pop 5 in uneven chunks: 5 is coprime to the 8-slot ring, so
+    // the cursors hit every alignment and wrap repeatedly.
+    std::uint64_t vals[5];
+    for (auto& v : vals) v = next_val++;
+    std::size_t pushed = 0;
+    while (pushed < 5) pushed += ring.try_push(vals + pushed, 5 - pushed);
+    for (std::size_t popped = 0; popped < 5;) {
+      const auto [data, n] = ring.front_span();
+      ASSERT_GT(n, 0u);
+      const std::size_t take = std::min({n, std::size_t{3}, 5 - popped});
+      for (std::size_t i = 0; i < take; ++i) ASSERT_EQ(data[i], expect++);
+      ring.pop(take);
+      popped += take;
+    }
+    ASSERT_TRUE(ring.drained());
+  }
+  ASSERT_EQ(expect, next_val);
+}
+
+TEST(SpscRing, FullRingRejectsAndBackpressureWorks) {
+  spsc_ring<std::uint64_t> ring(4);
+  std::uint64_t vals[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ASSERT_EQ(ring.try_push(vals, 8), 4u);  // partial accept at capacity
+  ASSERT_EQ(ring.try_push(vals + 4, 4), 0u);
+  const auto [data, n] = ring.front_span();
+  ASSERT_EQ(n, 4u);
+  ASSERT_EQ(data[0], 0u);
+  ring.pop(2);
+  ASSERT_EQ(ring.try_push(vals + 4, 4), 2u);
+}
+
+TEST(SpscRing, TwoThreadStressPreservesOrder) {
+  // 1M sequential values through a small ring; the consumer asserts it sees
+  // exactly 0,1,2,... - any lost/duplicated/reordered slot fails. Run under
+  // TSan in CI, this is also the memory-ordering proof for the pool.
+  constexpr std::uint64_t kTotal = 1'000'000;
+  spsc_ring<std::uint64_t> ring(1024);
+  std::atomic<bool> ok{true};
+  std::thread consumer([&] {
+    std::uint64_t expect = 0;
+    while (expect < kTotal) {
+      const auto [data, n] = ring.front_span();
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (data[i] != expect++) {
+          ok.store(false);
+          return;
+        }
+      }
+      ring.pop(n);
+    }
+  });
+  std::uint64_t buf[256];
+  std::uint64_t next_val = 0;
+  while (next_val < kTotal) {
+    const std::size_t m = static_cast<std::size_t>(std::min<std::uint64_t>(256, kTotal - next_val));
+    for (std::size_t i = 0; i < m; ++i) buf[i] = next_val + i;
+    std::size_t pushed = 0;
+    while (pushed < m && ok.load(std::memory_order_relaxed)) {
+      const std::size_t p = ring.try_push(buf + pushed, m - pushed);
+      if (p == 0) std::this_thread::yield();
+      pushed += p;
+    }
+    next_val += m;
+  }
+  consumer.join();
+  ASSERT_TRUE(ok.load());
+}
+
+// --- differential: sharded == per-shard references -------------------------
+
+class ShardedDifferential : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShardedDifferential, MatchesPerShardReferencesAndMergesExactly) {
+  const auto [num_shards, inv_tau] = GetParam();
+  shard_config cfg;
+  cfg.window_size = 3000;
+  cfg.counters = 24;
+  cfg.tau = 1.0 / inv_tau;
+  cfg.seed = 11;
+  cfg.shards = static_cast<std::size_t>(num_shards);
+
+  const auto ids = skewed_ids(20000, 1.2, 99 + static_cast<std::uint64_t>(num_shards));
+
+  sharded front(cfg);
+  ASSERT_EQ(front.num_shards(), cfg.shards);
+  for (std::size_t i = 0; i < ids.size(); i += 257) {
+    front.update_batch(ids.data() + i, std::min<std::size_t>(257, ids.size() - i));
+  }
+
+  // References: standalone instances fed the partitioned subsequences via
+  // scalar update() - crossing the batch/scalar equivalence with the
+  // partition, exactly the contract the header documents.
+  shard_partitioner<std::uint64_t> part(cfg.shards);
+  std::vector<sketch> refs;
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    refs.emplace_back(sharded::shard_config_for(cfg, s));
+  }
+  for (const auto id : ids) refs[part(id)].update(id);
+
+  ASSERT_EQ(front.stream_length(), ids.size());
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    ASSERT_EQ(front.shard_of(ids[s]), part(ids[s]));
+    expect_identical(front.shard(s), refs[s]);
+  }
+
+  // Point queries route: equal to the owning reference for hits and misses.
+  for (const auto id : {ids[0], ids[7], std::uint64_t{0xdead'beef'0000'1234}}) {
+    ASSERT_DOUBLE_EQ(front.query(id), refs[part(id)].query(id));
+    ASSERT_DOUBLE_EQ(front.query_lower(id), refs[part(id)].query_lower(id));
+  }
+
+  // Set queries merge by concatenation + global filter: rebuild the merge by
+  // hand from the references and demand bit-equality (same gather order,
+  // same comparator => same output, ties included).
+  for (double theta : {0.01, 0.05}) {
+    const double bar = theta * static_cast<double>(front.window_size());
+    std::vector<sharded::heavy_hitter> manual;
+    for (auto& ref : refs) {
+      ref.for_each_candidate([&](const std::uint64_t& key, double est) {
+        if (est >= bar) manual.push_back({key, est});
+      });
+    }
+    std::sort(manual.begin(), manual.end(),
+              [](const auto& a, const auto& b) { return a.estimate > b.estimate; });
+    const auto merged = front.heavy_hitters(theta);
+    ASSERT_EQ(merged.size(), manual.size()) << "theta " << theta;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      ASSERT_EQ(merged[i].key, manual[i].key) << "rank " << i;
+      ASSERT_DOUBLE_EQ(merged[i].estimate, manual[i].estimate);
+    }
+  }
+
+  // top(k): contained in the union of candidates and internally sorted.
+  const auto t = front.top(10);
+  ASSERT_LE(t.size(), 10u);
+  for (std::size_t i = 1; i < t.size(); ++i) ASSERT_GE(t[i - 1].estimate, t[i].estimate);
+  for (const auto& hh : t) ASSERT_DOUBLE_EQ(hh.estimate, refs[part(hh.key)].query(hh.key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ShardedDifferential,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                                            ::testing::Values(1, 16)));
+
+TEST(ShardedMemento, ScalarAndBatchIngestAreIdentical) {
+  // Routing one packet at a time and partitioning bursts must leave every
+  // shard with the same owned subsequence, hence identical state.
+  shard_config cfg;
+  cfg.window_size = 2000;
+  cfg.counters = 16;
+  cfg.tau = 1.0 / 4;
+  cfg.seed = 5;
+  cfg.shards = 3;
+  const auto ids = skewed_ids(15000, 1.0, 21);
+
+  sharded one_by_one(cfg);
+  sharded batched(cfg);
+  for (const auto id : ids) one_by_one.update(id);
+  for (std::size_t i = 0; i < ids.size(); i += 501) {
+    batched.update_batch(ids.data() + i, std::min<std::size_t>(501, ids.size() - i));
+  }
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    expect_identical(one_by_one.shard(s), batched.shard(s));
+  }
+}
+
+TEST(ShardedMemento, GlobalBudgetSplitKeepsErrorWidth) {
+  // W and k divide by N, so the overflow threshold - and with it the
+  // absolute estimate width - matches the single-instance geometry.
+  shard_config cfg;
+  cfg.window_size = 1 << 16;
+  cfg.counters = 256;
+  cfg.shards = 4;
+  sharded front(cfg);
+  sketch single(cfg.window_size, cfg.counters, cfg.tau, cfg.seed);
+  ASSERT_DOUBLE_EQ(front.estimate_width(), single.estimate_width());
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    ASSERT_EQ(front.shard(s).overflow_threshold(), single.overflow_threshold());
+    ASSERT_EQ(front.shard(s).counters(), cfg.counters / cfg.shards);
+  }
+  ASSERT_GE(front.window_size(), cfg.window_size);
+}
+
+TEST(ShardedMemento, RejectsDegenerateGlobalBudgets) {
+  // shard_share floors per-shard slices at 1, so the frontend must reject
+  // zero GLOBAL budgets itself, exactly like the single-instance ctor.
+  shard_config cfg;
+  cfg.shards = 0;
+  EXPECT_THROW(sharded{cfg}, std::invalid_argument);
+  cfg.shards = 2;
+  cfg.window_size = 0;
+  EXPECT_THROW(sharded{cfg}, std::invalid_argument);
+  cfg.window_size = 100;
+  cfg.counters = 0;
+  EXPECT_THROW(sharded{cfg}, std::invalid_argument);
+  EXPECT_THROW((sharded_h_memento<source_hierarchy>(h_memento_config{0, 10, 1.0, 1e-3, 1}, 2)),
+               std::invalid_argument);
+}
+
+// --- threaded pool ---------------------------------------------------------
+
+TEST(ShardedPool, DrainedPoolMatchesDeterministicFrontend) {
+  shard_config cfg;
+  cfg.window_size = 30000;
+  cfg.counters = 64;
+  cfg.tau = 1.0 / 8;
+  cfg.seed = 17;
+  cfg.shards = 3;
+  const auto ids = skewed_ids(200000, 1.2, 33, 1u << 14);
+
+  sharded reference(cfg);
+  sharded_memento_pool<std::uint64_t> pool(cfg, /*ring_capacity=*/1u << 12);
+  for (std::size_t i = 0; i < ids.size(); i += 700) {
+    const std::size_t n = std::min<std::size_t>(700, ids.size() - i);
+    reference.update_batch(ids.data() + i, n);
+    pool.ingest(ids.data() + i, n);
+  }
+  pool.drain();
+
+  ASSERT_EQ(pool.frontend().stream_length(), reference.stream_length());
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    expect_identical(pool.frontend().shard(s), reference.shard(s));
+  }
+  const auto hh_pool = pool.heavy_hitters(0.01);
+  const auto hh_ref = reference.heavy_hitters(0.01);
+  ASSERT_EQ(hh_pool.size(), hh_ref.size());
+  for (std::size_t i = 0; i < hh_pool.size(); ++i) {
+    ASSERT_EQ(hh_pool[i].key, hh_ref[i].key);
+    ASSERT_DOUBLE_EQ(hh_pool[i].estimate, hh_ref[i].estimate);
+  }
+}
+
+TEST(ShardedPool, InterleavedIngestAndQueryRounds) {
+  // drain()-then-query must be safe mid-stream, repeatedly (the monitoring
+  // pattern: query every epoch while ingest continues afterwards).
+  shard_config cfg;
+  cfg.window_size = 8000;
+  cfg.counters = 32;
+  cfg.shards = 2;
+  const auto ids = skewed_ids(60000, 1.2, 55);
+
+  sharded reference(cfg);
+  sharded_memento_pool<std::uint64_t> pool(cfg, 1u << 10);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t begin = static_cast<std::size_t>(round) * 10000;
+    for (std::size_t i = begin; i < begin + 10000; i += 333) {
+      const std::size_t n = std::min<std::size_t>(333, begin + 10000 - i);
+      reference.update_batch(ids.data() + i, n);
+      pool.ingest(ids.data() + i, n);
+    }
+    ASSERT_EQ(pool.stream_length(), reference.stream_length());  // drains internally
+    const auto top_pool = pool.top(5);
+    const auto top_ref = reference.top(5);
+    ASSERT_EQ(top_pool.size(), top_ref.size()) << "round " << round;
+    for (std::size_t i = 0; i < top_pool.size(); ++i) {
+      ASSERT_EQ(top_pool[i].key, top_ref[i].key) << "round " << round << " rank " << i;
+    }
+  }
+}
+
+// --- phase drift -----------------------------------------------------------
+
+TEST(ShardedMemento, PhaseDriftConcentratesAroundIdealShare) {
+  // With hashed partitioning each shard's packet count is Binomial(n, 1/N);
+  // the realized skew must sit within a few standard deviations of 0 and
+  // the per-shard window clocks must stay valid. Fixed seed => exact rerun.
+  shard_config cfg;
+  cfg.window_size = 1 << 16;
+  cfg.counters = 64;
+  cfg.shards = 8;
+  cfg.seed = 7;
+  sharded front(cfg);
+  const auto ids = skewed_ids(400000, 0.8, 77, 1u << 20);
+  front.update_batch(ids.data(), ids.size());
+
+  const double n = static_cast<double>(ids.size());
+  const double per_shard = n / static_cast<double>(cfg.shards);
+  // Heavy flows make shard loads super-binomial (one flow's packets all
+  // stack on one shard); alpha = 0.8 over 2^20 flows keeps the top flow
+  // ~1.5% of the stream, so 6 "binomial sigmas" plus that mass is generous
+  // yet tight enough to catch a broken partitioner (which skews by O(n)).
+  const double slack = 6.0 * std::sqrt(per_shard) + 0.02 * n;
+  EXPECT_LT(front.stream_skew(), slack);
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    const auto& shard = front.shard(s);
+    EXPECT_GT(static_cast<double>(shard.stream_length()), per_shard - slack);
+    EXPECT_LT(shard.window_phase(), shard.window_size());
+    total += shard.stream_length();
+  }
+  ASSERT_EQ(total, ids.size());  // partition, not sampling: every packet lands once
+}
+
+// --- skew: recall/precision vs a single instance ---------------------------
+
+/// (alpha, theta, counters): theta scales with the skew so every trace
+/// actually has heavy hitters at the bar (a flat Zipf 0.6 mix tops out well
+/// below 2%), and the counter budget scales the other way so the bar stays
+/// above the sketch's resolution (bar > 2T, or the report is pure
+/// Space-Saving churn noise for sharded and single instance alike).
+class ShardedSkew : public ::testing::TestWithParam<std::tuple<double, double, std::size_t>> {};
+
+TEST_P(ShardedSkew, RecallAndPrecisionStayWithinConfiguredEpsilon) {
+  const auto [alpha, theta, kCounters] = GetParam();
+  constexpr std::uint64_t kWindow = 100000;
+
+  shard_config cfg;
+  cfg.window_size = kWindow;
+  cfg.counters = kCounters;
+  cfg.shards = 4;
+  cfg.seed = 13;
+  sharded front(cfg);
+  sketch single(kWindow, kCounters, 1.0, 13);
+  exact_window<std::uint64_t> oracle(kWindow);
+  // Per-shard oracles over the partitioned subsequences, sized to each
+  // shard's (rounded) window: the reference for the strict one-sidedness
+  // guarantee, which holds per shard with NO drift fuzz.
+  std::vector<exact_window<std::uint64_t>> shard_oracles;
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    shard_oracles.emplace_back(front.shard(s).window_size());
+  }
+
+  const auto ids = skewed_ids(300000, alpha, 101, 1u << 14);
+  for (const auto id : ids) {
+    front.update(id);
+    single.update(id);
+    oracle.add(id);
+    shard_oracles[front.shard_of(id)].add(id);
+  }
+
+  const double bar = theta * static_cast<double>(kWindow);
+  std::vector<std::uint64_t> truth;
+  oracle.for_each([&](const std::uint64_t& key, std::uint64_t count) {
+    if (static_cast<double>(count) >= bar) truth.push_back(key);
+  });
+  ASSERT_FALSE(truth.empty()) << "alpha " << alpha << ": trace produced no heavy hitters";
+
+  // Strict one-sidedness per shard: every true heavy hitter's routed
+  // estimate dominates its count in the owning shard's window. No fuzz -
+  // this is the hard guarantee sharding preserves exactly.
+  for (const auto& key : truth) {
+    const std::size_t s = front.shard_of(key);
+    EXPECT_GE(front.query(key), static_cast<double>(shard_oracles[s].query(key)))
+        << "one-sidedness broken for " << key << " on shard " << s;
+  }
+
+  // Coverage-corrected global estimates: shard s's window spans
+  // ~window_coverage(s) global packets, so under stationarity the routed
+  // estimate matches the global count after rescaling by W/C_s, within the
+  // (coverage-scaled) epsilon width plus a generous stationarity fuzz.
+  std::sort(truth.begin(), truth.end(), [&](const auto& a, const auto& b) {
+    return oracle.query(a) > oracle.query(b);
+  });
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, truth.size()); ++i) {
+    const std::uint64_t key = truth[i];
+    const double exact = static_cast<double>(oracle.query(key));
+    const double coverage = front.window_coverage(front.shard_of(key));
+    const double scaled = front.query(key) * static_cast<double>(kWindow) / coverage;
+    EXPECT_NEAR(scaled, exact, front.estimate_width() + 0.35 * exact)
+        << "rank " << i << " alpha " << alpha << " coverage " << coverage;
+  }
+
+  // Recall/precision vs the single instance at the same theta: sharding may
+  // only shift *borderline* flows (within the coverage drift of the bar).
+  const auto found = front.heavy_hitters(theta);
+  const auto found_single = single.heavy_hitters(theta);
+  auto in = [](const auto& set, const std::uint64_t& key) {
+    return std::any_of(set.begin(), set.end(), [&](const auto& hh) { return hh.key == key; });
+  };
+  std::size_t hit = 0, hit_single = 0;
+  for (const auto& key : truth) {
+    if (in(found, key)) ++hit;
+    if (in(found_single, key)) ++hit_single;
+    if (!in(found, key)) {
+      // Anything missed must be borderline: inside the worst coverage
+      // shrink (bounded by the shard's realized load share) of the bar.
+      double worst_coverage = 1.0;
+      for (std::size_t s = 0; s < cfg.shards; ++s) {
+        worst_coverage = std::min(
+            worst_coverage, front.window_coverage(s) / static_cast<double>(kWindow));
+      }
+      EXPECT_LT(static_cast<double>(oracle.query(key)) * worst_coverage, 1.1 * bar)
+          << "missed a flow clearly above the bar even after coverage shrink: " << key;
+    }
+  }
+  const double recall = static_cast<double>(hit) / static_cast<double>(truth.size());
+  const double recall_single =
+      static_cast<double>(hit_single) / static_cast<double>(truth.size());
+  EXPECT_GE(recall, recall_single - 0.1) << "alpha " << alpha;
+  EXPECT_GE(recall, 0.8) << "alpha " << alpha;
+
+  // Precision proxy: sharding must not materially widen the report. Both
+  // instances over-report by design (one-sided estimates); the sharded
+  // report may exceed the single one only by the borderline band.
+  EXPECT_LE(found.size(), found_single.size() + truth.size() + 16) << "alpha " << alpha;
+  ASSERT_DOUBLE_EQ(front.estimate_width(), single.estimate_width());
+}
+
+INSTANTIATE_TEST_SUITE_P(ZipfAlphas, ShardedSkew,
+                         ::testing::Values(std::make_tuple(0.6, 0.004, std::size_t{1024}),
+                                           std::make_tuple(0.9, 0.01, std::size_t{512}),
+                                           std::make_tuple(1.2, 0.02, std::size_t{256})));
+
+// --- hierarchical smoke path -----------------------------------------------
+
+TEST(ShardedHMemento, RoutingKeepsNonRootPrefixesTogether) {
+  sharded_h_memento<source_hierarchy> front(h_memento_config{4000, 40, 1.0, 1e-3, 3}, 4);
+  trace_generator gen(trace_kind::datacenter, 9);
+  for (int i = 0; i < 1000; ++i) {
+    const packet p = gen.next();
+    const std::size_t owner = front.shard_of(p);
+    for (std::size_t level = 0; level < source_hierarchy::hierarchy_size - 1; ++level) {
+      ASSERT_EQ(front.shard_of_key(source_hierarchy::key_at(p, level)), owner)
+          << "level " << level << " escaped its packet's shard";
+    }
+  }
+}
+
+TEST(ShardedHMemento, ScalarAndBatchIngestAgreeAndRootSums) {
+  const auto packets = make_trace(trace_kind::datacenter, 30000, 27);
+  const h_memento_config cfg{10000, 160, 1.0 / 4, 1e-3, 8};
+
+  sharded_h_memento<source_hierarchy> one_by_one(cfg, 3);
+  sharded_h_memento<source_hierarchy> batched(cfg, 3);
+  for (const auto& p : packets) one_by_one.update(p);
+  for (std::size_t i = 0; i < packets.size(); i += 777) {
+    batched.update_batch(packets.data() + i, std::min<std::size_t>(777, packets.size() - i));
+  }
+  ASSERT_EQ(one_by_one.stream_length(), batched.stream_length());
+  ASSERT_EQ(one_by_one.stream_length(), packets.size());
+
+  const auto out_a = one_by_one.output(0.05);
+  const auto out_b = batched.output(0.05);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    ASSERT_EQ(out_a[i].key, out_b[i].key);
+    ASSERT_DOUBLE_EQ(out_a[i].conditioned_frequency, out_b[i].conditioned_frequency);
+  }
+
+  // The root's upper bound sums per-shard one-sided bounds, so it must
+  // dominate the sum of the shards' windows (= everything in the window).
+  const std::uint64_t root = prefix1d::make_key(0, source_hierarchy::num_levels - 1);
+  EXPECT_GE(one_by_one.query(root), 0.0);
+  double manual = 0.0;
+  for (std::size_t s = 0; s < one_by_one.num_shards(); ++s) {
+    manual += one_by_one.shard(s).query(root);
+    // The phase passthrough stays inside the shard's frame clock.
+    EXPECT_LT(one_by_one.shard(s).window_phase(), one_by_one.shard(s).window_size());
+  }
+  ASSERT_DOUBLE_EQ(one_by_one.query(root), manual);
+}
+
+TEST(ShardedHMemento, FindsTheHeavyPrefixesASingleInstanceFinds) {
+  // Inject a dominant /32 (12% of traffic): both the single instance and the
+  // sharded smoke path must report it (or an ancestor covering it) at
+  // theta = 0.05, and the sharded routed estimate must be one-sided for it.
+  trace_generator gen(trace_kind::datacenter, 41);
+  std::vector<packet> packets;
+  exact_window<std::uint64_t> oracle(20000);
+  const packet heavy{0xC0A80101u, 0x0A000001u};
+  for (int i = 0; i < 60000; ++i) {
+    const packet p = (i % 8 == 0) ? heavy : gen.next();
+    packets.push_back(p);
+    oracle.add(source_hierarchy::full_key(p));
+  }
+
+  const h_memento_config cfg{20000, 200, 1.0, 1e-3, 19};
+  h_memento<source_hierarchy> single(cfg);
+  sharded_h_memento<source_hierarchy> front(cfg, 4);
+  for (const auto& p : packets) {
+    single.update(p);
+    front.update(p);
+  }
+
+  const auto key = source_hierarchy::full_key(heavy);
+  const double exact = static_cast<double>(oracle.query(key));
+  ASSERT_GT(exact, 0.05 * 20000.0);
+  // The routed estimate is one-sided w.r.t. the owning shard's window. That
+  // shard is overloaded (it owns a 12.5%-of-traffic flow), so its window
+  // covers ~(1/4)/(1/4 + 0.125*3/4) = 73% of the global one - the estimate
+  // may legitimately sit below the global exact count by that factor (the
+  // documented systematic phase drift; see sharded_memento.hpp).
+  EXPECT_GE(front.query(key), 0.65 * exact);
+  EXPECT_GE(single.query(key), exact);
+
+  auto covers = [&](const auto& out) {
+    return std::any_of(out.begin(), out.end(), [&](const auto& e) {
+      return source_hierarchy::generalizes(e.key, key);
+    });
+  };
+  EXPECT_TRUE(covers(single.output(0.05)));
+  EXPECT_TRUE(covers(front.output(0.05)));
+}
+
+}  // namespace
+}  // namespace memento
