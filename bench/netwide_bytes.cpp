@@ -1,0 +1,133 @@
+// Error-per-byte of the two real control channels: Sample (per-packet
+// samples, the paper's Section 4.3 baseline method) vs Summary (periodic
+// compressed sketch summaries, the snapshot layer's channel).
+//
+// Both channels are byte-accounted against the same budget_model, so the
+// question is purely "which message type converts control bytes into
+// accuracy better" at each budget B. The harness routes by client hash,
+// m = 10 vantages, and RMSE is measured fig9-style: on-arrival midpoint
+// estimates of every probed packet's 5 source generalizations against an
+// exact global window.
+//
+// Metrics per (method, B): rmse, bytes/packet actually used, and
+// err_per_byte = rmse / bytes_used - the RMSE carried per control byte
+// spent. Both methods saturate their budget, so at equal B the err_per_byte
+// ordering is the rmse ordering; across budgets it is the efficiency curve.
+//
+// `--json` emits the machine-readable form summarize.py folds into the
+// committed BENCH artifact (section "netwide_bytes"); the default is a
+// human-readable table. Keep runtimes CI-smoke friendly.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netwide/simulation.hpp"
+#include "sketch/exact_hhh.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace memento;
+using namespace memento::netwide;
+
+constexpr std::uint64_t kWindow = 100'000;
+constexpr std::size_t kPackets = 300'000;
+constexpr std::size_t kProbeStride = 101;
+
+struct run_result {
+  double rmse = 0.0;
+  double bytes_per_packet = 0.0;
+  double err_per_byte = 0.0;
+  std::uint64_t reports = 0;
+};
+
+run_result run_method(comm_method method, double budget_bytes) {
+  harness_config cfg;
+  cfg.method = method;
+  cfg.num_points = 10;
+  cfg.window = kWindow;
+  cfg.budget = budget_model{budget_bytes, 64.0, 4.0};
+  cfg.counters = 4096;
+  netwide_harness<source_hierarchy> harness(cfg);
+  exact_hhh<source_hierarchy> exact(kWindow);
+
+  auto trace_cfg = trace_config::preset(trace_kind::backbone, 42);
+  trace_cfg.churn_stride = 5'000;  // flows arrive and die, as in fig9
+  trace_generator gen(trace_cfg);
+  double sq = 0.0;
+  std::size_t probes = 0;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const packet p = gen.next();
+    harness.ingest(p);
+    exact.update(p);
+    if (i > 2 * kWindow && i % kProbeStride == 0) {
+      for (std::size_t d = 0; d < source_hierarchy::hierarchy_size; ++d) {
+        const auto key = source_hierarchy::key_at(p, d);
+        const double err =
+            harness.estimate_midpoint(key) - static_cast<double>(exact.query(key));
+        sq += err * err;
+        ++probes;
+      }
+    }
+  }
+  run_result r;
+  r.rmse = std::sqrt(sq / static_cast<double>(probes));
+  r.bytes_per_packet = harness.bytes_per_packet();
+  r.err_per_byte = r.bytes_per_packet > 0.0 ? r.rmse / r.bytes_per_packet : 0.0;
+  r.reports = harness.reports_sent();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const double budgets[] = {0.5, 1.0, 4.0};
+  const comm_method methods[] = {comm_method::sample, comm_method::summary};
+
+  if (!json) {
+    std::puts("=== error-per-byte: sample vs summary channel ===");
+    std::printf("m=10 vantages, W=%llu, O=64, E=4, S=16, %zu packets, backbone+churn\n",
+                static_cast<unsigned long long>(kWindow), kPackets);
+  }
+
+  std::string rows;
+  console_table table({"method", "B bytes/pkt", "rmse", "bytes/pkt used", "rmse/byte", "reports"});
+  if (!json) table.print_header();
+  for (const double budget : budgets) {
+    for (const comm_method method : methods) {
+      const auto r = run_method(method, budget);
+      if (json) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"method\": \"%s\", \"budget_bytes_per_packet\": %g, "
+                      "\"rmse\": %.2f, \"bytes_per_packet\": %.4f, "
+                      "\"err_per_byte\": %.2f, \"reports\": %llu}",
+                      method_name(method), budget, r.rmse, r.bytes_per_packet,
+                      r.err_per_byte, static_cast<unsigned long long>(r.reports));
+        if (!rows.empty()) rows += ",\n";
+        rows += buf;
+      } else {
+        table.cell(method_name(method))
+            .cell(budget, 2)
+            .cell(r.rmse, 1)
+            .cell(r.bytes_per_packet, 3)
+            .cell(r.err_per_byte, 1)
+            .cell(static_cast<long long>(r.reports));
+        table.end_row();
+      }
+    }
+  }
+
+  if (json) {
+    std::printf("{\n  \"netwide_bytes\": [\n%s\n  ]\n}\n", rows.c_str());
+  } else {
+    std::puts("\nrmse/byte = rmse divided by control bytes actually spent per packet;");
+    std::puts("lower is better. Both methods saturate the budget, so at equal B this");
+    std::puts("is the accuracy ordering; across B it is the efficiency curve.");
+  }
+  return 0;
+}

@@ -3,7 +3,16 @@
 
 Usage:
     ./build/bench/fig5_hh_speed --benchmark_format=json > fig5.raw.json
-    python3 bench/summarize.py fig5.raw.json -o BENCH_fig5.json
+    ./build/bench/netwide_bytes --json > netwide.raw.json
+    python3 bench/summarize.py fig5.raw.json --netwide netwide.raw.json -o BENCH_fig5.json
+
+The input may also be an ALREADY-REDUCED artifact (a previous summarize.py
+output): its entries/pairs/scaling sections are carried through unchanged,
+which lets `--netwide` refresh the control-channel section without
+re-measuring the throughput benches.
+
+`--netwide` folds the netwide_bytes bench's error-per-byte rows (sample vs
+summary control channels) into a `netwide_bytes` section of the artifact.
 
 The reducer keeps one record per benchmark config (name, label, Mpps) and,
 whenever a family has both a scalar and a `_batch` variant with the same
@@ -130,13 +139,27 @@ def reduce_benchmarks(raw: dict) -> dict:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("input", help="Google Benchmark --benchmark_format=json output")
+    ap.add_argument(
+        "input",
+        help="Google Benchmark --benchmark_format=json output, or a prior summarize.py artifact",
+    )
     ap.add_argument("-o", "--output", default=None, help="write here instead of stdout")
+    ap.add_argument(
+        "--netwide",
+        default=None,
+        help="netwide_bytes --json output to fold in as the `netwide_bytes` section",
+    )
     args = ap.parse_args()
 
     with open(args.input, encoding="utf-8") as f:
         raw = json.load(f)
-    summary = reduce_benchmarks(raw)
+    if raw.get("generated_by") == "bench/summarize.py":
+        summary = raw  # already reduced: carry the perf sections through
+    else:
+        summary = reduce_benchmarks(raw)
+    if args.netwide:
+        with open(args.netwide, encoding="utf-8") as f:
+            summary["netwide_bytes"] = json.load(f)["netwide_bytes"]
     text = json.dumps(summary, indent=2) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -55,7 +56,8 @@ class h_memento {
       : inner_(memento_config{config.window_size, config.counters, config.tau, config.seed}),
         sampler_(config.tau, 1u << 16, config.seed ^ 0x9e3779b97f4a7c15ULL),
         rng_(config.seed + 1),
-        delta_(config.delta) {
+        delta_(config.delta),
+        seed_(config.seed) {
     if (config.delta <= 0.0 || config.delta >= 1.0) {
       throw std::invalid_argument("h_memento: delta must be in (0, 1)");
     }
@@ -170,11 +172,58 @@ class h_memento {
   [[nodiscard]] std::uint64_t window_phase() const noexcept { return inner_.window_phase(); }
   [[nodiscard]] const memento_sketch<key_type>& inner() const noexcept { return inner_; }
 
+  // --- snapshot support ------------------------------------------------------
+  // On top of the inner Memento's snapshot, H-Memento only adds its own
+  // sampler cursor and the generalization-choice PRNG state; both are
+  // restored exactly, so a restored instance samples the same packets AND
+  // picks the same prefixes - continuation is bit-identical.
+
+  static constexpr std::uint16_t kWireTag = 0x484d;  ///< "HM"
+  static constexpr std::uint16_t kWireVersion = 1;
+
+  /// Serializes the algorithm as one versioned section.
+  void save(wire::writer& w) const {
+    const std::size_t tok = w.begin_section(kWireTag, kWireVersion);
+    w.f64(delta_);
+    w.u64(seed_);
+    w.varint(sampler_.cursor());
+    for (const std::uint64_t word : rng_.state()) w.u64(word);
+    inner_.save(w);
+    w.end_section(tok);
+  }
+
+  /// Rebuilds an instance from save() output; nullopt on any malformed
+  /// input (see memento_sketch::restore for the validation contract).
+  [[nodiscard]] static std::optional<h_memento> restore(wire::reader& r) {
+    std::uint16_t version = 0;
+    wire::reader body;
+    if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
+
+    double delta = 0.0;
+    std::uint64_t seed = 0, cursor = 0;
+    xoshiro256::state_type state{};
+    if (!body.f64(delta) || !body.u64(seed) || !body.varint(cursor)) return std::nullopt;
+    for (auto& word : state) {
+      if (!body.u64(word)) return std::nullopt;
+    }
+    if (!(delta > 0.0) || !(delta < 1.0)) return std::nullopt;  // excludes NaN
+
+    auto inner = memento_sketch<key_type>::restore(body);
+    if (!inner || !body.done()) return std::nullopt;
+    h_memento out(h_memento_config{inner->window_size(), inner->counters(), inner->tau(),
+                                   delta, seed});
+    out.inner_ = std::move(*inner);
+    if (!out.sampler_.set_cursor(static_cast<std::size_t>(cursor))) return std::nullopt;
+    if (!out.rng_.set_state(state)) return std::nullopt;
+    return out;
+  }
+
  private:
   memento_sketch<key_type> inner_;
   random_table_sampler sampler_;
   xoshiro256 rng_;
   double delta_;
+  std::uint64_t seed_ = 1;  ///< construction seed (snapshots rebuild the sampler from it)
 };
 
 }  // namespace memento

@@ -53,6 +53,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -60,6 +61,7 @@
 #include "sketch/space_saving.hpp"
 #include "util/flat_hash.hpp"
 #include "util/random.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 
@@ -96,7 +98,8 @@ class memento_sketch {
         sampler_(config.tau, 1u << 16, config.seed),
         tau_(std::clamp(config.tau, 0.0, 1.0)),
         inv_tau_(tau_ > 0.0 ? 1.0 / tau_ : 0.0),
-        k_(config.counters > 0 ? config.counters : 1) {
+        k_(config.counters > 0 ? config.counters : 1),
+        seed_(config.seed) {
     if (config.window_size == 0) throw std::invalid_argument("memento: W must be >= 1");
     if (config.counters == 0) throw std::invalid_argument("memento: counters must be >= 1");
     if (config.tau <= 0.0 || config.tau > 1.0) {
@@ -310,7 +313,99 @@ class memento_sketch {
   /// Defensive-drain events (should stay 0; asserted in tests).
   [[nodiscard]] std::uint64_t forced_drains() const noexcept { return forced_drains_; }
 
+  // --- snapshot support ------------------------------------------------------
+  // A snapshot captures the complete algorithm state: configuration (from
+  // which the derived geometry and the sampler's random table are rebuilt),
+  // the in-frame Space-Saving structure, the overflow table B, the block-
+  // queue ring (compacted: retired prefixes are dropped), the window clock,
+  // and the sampler cursor. restore(save(s)) answers every query
+  // bit-identically to s and - fed the same suffix - continues the stream
+  // bit-identically (pinned by tests/snapshot_test.cpp).
+
+  static constexpr std::uint16_t kWireTag = 0x4d53;  ///< "MS"
+  static constexpr std::uint16_t kWireVersion = 1;
+
+  /// Serializes the sketch as one versioned section.
+  void save(wire::writer& w) const {
+    const std::size_t tok = w.begin_section(kWireTag, kWireVersion);
+    w.u64(frame_len_);
+    w.varint(k_);
+    w.f64(tau_);
+    w.u64(seed_);
+    w.u64(clock_);
+    w.u64(stream_length_);
+    w.u64(forced_drains_);
+    w.varint(head_);
+    w.varint(sampler_.cursor());
+    y_.save(w);
+    overflows_.save(w);
+    for (const block_queue& q : blocks_) {
+      w.varint(q.items.size() - q.next);  // compact: only live entries ship
+      for (std::size_t i = q.next; i < q.items.size(); ++i) {
+        wire::codec<Key>::put(w, q.items[i]);
+      }
+    }
+    w.end_section(tok);
+  }
+
+  /// Rebuilds a sketch from save() output; nullopt on any malformed input
+  /// (version/tag mismatch, inconsistent geometry, out-of-range clock or
+  /// cursor, corrupt substructures) - never a crash or a partially
+  /// constructed object. The derived quantities (block length, overflow
+  /// threshold, sampler table) are recomputed from the serialized
+  /// configuration, so only genuine state crosses the wire.
+  [[nodiscard]] static std::optional<memento_sketch> restore(wire::reader& r) {
+    std::uint16_t version = 0;
+    wire::reader body;
+    if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
+
+    std::uint64_t frame = 0, k = 0, seed = 0, clock = 0, stream = 0, drains = 0;
+    std::uint64_t head = 0, cursor = 0;
+    double tau = 0.0;
+    if (!body.u64(frame) || !body.varint(k) || !body.f64(tau) || !body.u64(seed) ||
+        !body.u64(clock) || !body.u64(stream) || !body.u64(drains) || !body.varint(head) ||
+        !body.varint(cursor)) {
+      return std::nullopt;
+    }
+    // The counter cap matches space_saving::kMaxRestoreCounters: it bounds
+    // the transient allocation a crafted tiny snapshot can trigger.
+    if (k == 0 || k > (std::uint64_t{1} << 18) || frame == 0) return std::nullopt;
+    if (!(tau > 0.0) || tau > 1.0) return std::nullopt;  // excludes NaN too
+    if (clock >= frame || head > k) return std::nullopt;
+
+    memento_sketch out(memento_config{frame, static_cast<std::size_t>(k), tau, seed});
+    // An honest save's frame length is block_len * k exactly; anything else
+    // would silently shift every window boundary.
+    if (out.frame_len_ != frame) return std::nullopt;
+    if (!out.sampler_.set_cursor(static_cast<std::size_t>(cursor))) return std::nullopt;
+    out.clock_ = clock;
+    out.until_block_end_ = out.block_len_ - clock % out.block_len_;
+    out.stream_length_ = stream;
+    out.forced_drains_ = drains;
+    out.head_ = static_cast<std::size_t>(head);
+
+    auto y = space_saving<Key>::restore(body);
+    if (!y || y->capacity() != out.k_) return std::nullopt;
+    out.y_ = std::move(*y);
+    if (!out.overflows_.restore(body)) return std::nullopt;
+    for (block_queue& q : out.blocks_) {
+      std::uint64_t n = 0;
+      // Divide, don't multiply: a corrupt 2^61 count must fail the guard,
+      // not wrap it and throw from the resize below.
+      if (!body.varint(n) || n > body.remaining() / 8) return std::nullopt;
+      q.items.resize(static_cast<std::size_t>(n));
+      q.next = 0;
+      for (auto& key : q.items) {
+        if (!wire::codec<Key>::get(body, key)) return std::nullopt;
+      }
+    }
+    if (!body.done()) return std::nullopt;
+    return out;
+  }
+
  private:
+  friend class snapshot_builder;  ///< reshard's bulk state loader (snapshot/reshard.hpp)
+
   /// Packets per batch-kernel chunk: bounds the decision/bucket scratch (256
   /// decisions + 256 buckets ~ 2.25 KB of stack) and the prefetch window.
   static constexpr std::size_t kBatchChunk = 256;
@@ -451,6 +546,7 @@ class memento_sketch {
   std::uint64_t until_block_end_ = 1;  ///< packets until the block boundary fires
   std::uint64_t stream_length_ = 0;
   std::uint64_t forced_drains_ = 0;
+  std::uint64_t seed_ = 1;             ///< construction seed (snapshots rebuild the sampler from it)
 };
 
 }  // namespace memento

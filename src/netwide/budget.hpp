@@ -1,12 +1,22 @@
-// The Section 5.2 bandwidth-budget model.
+// The Section 5.2 bandwidth-budget model, extended to both channel types.
 //
-// Measurement points talk to the controller over ordinary packets: a report
-// costs O header bytes (e.g. 64 for TCP) plus E bytes per sampled packet it
-// carries (4 for a source IP, 8 for a (src, dst) pair). The operator grants
-// B bytes of control traffic per ingress packet; a vantage gathering batches
-// of b samples at sampling rate tau therefore sends one (O + E b)-byte report
-// per b/tau packets, and the budget constraint (O + E b) / (b / tau) <= B
-// pins the maximum usable sampling rate tau = B b / (O + E b).
+// Measurement points talk to the controller over ordinary packets. The model
+// covers the two kinds of message a vantage can send:
+//
+//   * SAMPLE/BATCH reports (the paper's channels): O header bytes (e.g. 64
+//     for TCP) plus E bytes per sampled packet. A vantage gathering batches
+//     of b samples at sampling rate tau sends one (O + E b)-byte report per
+//     b/tau packets, and the budget constraint (O + E b) / (b / tau) <= B
+//     pins the maximum usable sampling rate tau = B b / (O + E b).
+//   * SUMMARY reports (the snapshot layer's channel): O header bytes plus
+//     S bytes per summarized candidate entry (key + estimate; see
+//     netwide/summary_channel.hpp). Summaries are not rate-limited by a
+//     sampling probability but by cadence: a vantage may ship one
+//     e-entry summary every (O + S e) / B ingress packets.
+//
+// The operator grants the same B bytes of control traffic per ingress
+// packet to either channel, which is what makes the error-per-byte
+// comparison (bench/netwide_bytes.cpp) apples-to-apples.
 #pragma once
 
 #include <algorithm>
@@ -20,6 +30,7 @@ struct budget_model {
   double bytes_per_packet = 1.0;  ///< B: control bytes allowed per ingress packet
   double overhead_bytes = 64.0;   ///< O: per-report header cost (64 = TCP)
   double entry_bytes = 4.0;       ///< E: bytes to encode one sampled packet
+  double summary_entry_bytes = 16.0;  ///< S: bytes per summary entry (8B key + 8B estimate)
 
   /// Size in bytes of a report carrying `samples` entries.
   [[nodiscard]] double report_bytes(std::size_t samples) const noexcept {
@@ -40,6 +51,17 @@ struct budget_model {
   /// tau: b / tau = (O + E b) / B.
   [[nodiscard]] double packets_per_report(std::size_t batch_size) const {
     return report_bytes(batch_size) / bytes_per_packet;
+  }
+
+  /// Size in bytes of a summary report carrying `entries` candidates.
+  [[nodiscard]] double summary_report_bytes(std::size_t entries) const noexcept {
+    return overhead_bytes + summary_entry_bytes * static_cast<double>(entries);
+  }
+
+  /// Ingress packets a vantage must observe between two e-entry summaries
+  /// to stay within budget: (O + S e) / B.
+  [[nodiscard]] double packets_per_summary(std::size_t entries) const {
+    return summary_report_bytes(entries) / bytes_per_packet;
   }
 };
 

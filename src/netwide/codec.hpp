@@ -9,19 +9,25 @@
 // sample_report layout (payload; the O-byte transport header is external):
 //   u32 origin | u64 covered | u32 count | count x entry
 // where entry = u32 src (E=4, 1D hierarchies) or u32 src + u32 dst (E=8).
+// The layout is pinned by a golden-bytes test (tests/codec_test.cpp): it
+// predates the shared wire layer and must never drift, version by version.
 //
-// Decoding is bounds-checked and returns nullopt on any truncation or count
-// mismatch - a malformed report must never crash a controller.
+// The little-endian primitives live in util/wire.hpp (shared with the
+// snapshot layer and the summary channel); this header only owns the
+// sample_report layout. Decoding is bounds-checked and returns nullopt on
+// any truncation or count mismatch - a malformed report must never crash a
+// controller (fuzzed across every truncation and bit flip by the codec
+// tests, under ASan in CI).
 #pragma once
 
 #include <cstdint>
-#include <cstring>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "netwide/measurement_point.hpp"
 #include "trace/packet.hpp"
+#include "util/wire.hpp"
 
 namespace memento::netwide {
 
@@ -31,68 +37,40 @@ enum class sample_encoding : std::uint8_t {
   src_and_dst = 8,   ///< 8 bytes: (source, destination) pair (2D)
 };
 
-namespace detail {
-
-inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-inline bool get_u32(std::span<const std::uint8_t> in, std::size_t& pos, std::uint32_t& v) {
-  if (pos + 4 > in.size()) return false;
-  v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
-  return true;
-}
-
-inline bool get_u64(std::span<const std::uint8_t> in, std::size_t& pos, std::uint64_t& v) {
-  if (pos + 8 > in.size()) return false;
-  v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos++]) << (8 * i);
-  return true;
-}
-
-}  // namespace detail
-
 /// Serializes a report payload. Size is exactly 16 + E * samples bytes.
 [[nodiscard]] inline std::vector<std::uint8_t> encode_report(const sample_report& report,
                                                              sample_encoding encoding) {
-  std::vector<std::uint8_t> out;
+  wire::writer w;
   const std::size_t entry = static_cast<std::size_t>(encoding);
-  out.reserve(16 + entry * report.samples.size());
-  detail::put_u32(out, report.origin);
-  detail::put_u64(out, report.covered_packets);
-  detail::put_u32(out, static_cast<std::uint32_t>(report.samples.size()));
+  w.reserve(16 + entry * report.samples.size());
+  w.u32(report.origin);
+  w.u64(report.covered_packets);
+  w.u32(static_cast<std::uint32_t>(report.samples.size()));
   for (const auto& p : report.samples) {
-    detail::put_u32(out, p.src);
-    if (encoding == sample_encoding::src_and_dst) detail::put_u32(out, p.dst);
+    w.u32(p.src);
+    if (encoding == sample_encoding::src_and_dst) w.u32(p.dst);
   }
-  return out;
+  return w.take();
 }
 
 /// Parses a report payload; nullopt on truncation, trailing garbage, or an
 /// entry count that does not match the buffer.
 [[nodiscard]] inline std::optional<sample_report> decode_report(
     std::span<const std::uint8_t> bytes, sample_encoding encoding) {
-  std::size_t pos = 0;
+  wire::reader r(bytes);
   sample_report report;
   std::uint32_t count = 0;
-  if (!detail::get_u32(bytes, pos, report.origin)) return std::nullopt;
-  if (!detail::get_u64(bytes, pos, report.covered_packets)) return std::nullopt;
-  if (!detail::get_u32(bytes, pos, count)) return std::nullopt;
+  if (!r.u32(report.origin)) return std::nullopt;
+  if (!r.u64(report.covered_packets)) return std::nullopt;
+  if (!r.u32(count)) return std::nullopt;
 
   const std::size_t entry = static_cast<std::size_t>(encoding);
-  if (bytes.size() - pos != static_cast<std::size_t>(count) * entry) return std::nullopt;
+  if (r.remaining() != static_cast<std::size_t>(count) * entry) return std::nullopt;
   report.samples.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     packet p;
-    if (!detail::get_u32(bytes, pos, p.src)) return std::nullopt;
-    if (encoding == sample_encoding::src_and_dst && !detail::get_u32(bytes, pos, p.dst)) {
-      return std::nullopt;
-    }
+    if (!r.u32(p.src)) return std::nullopt;
+    if (encoding == sample_encoding::src_and_dst && !r.u32(p.dst)) return std::nullopt;
     report.samples.push_back(p);
   }
   if (report.covered_packets < report.samples.size()) return std::nullopt;

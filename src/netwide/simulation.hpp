@@ -18,17 +18,22 @@
 #include "netwide/batch_optimizer.hpp"
 #include "netwide/controller.hpp"
 #include "netwide/measurement_point.hpp"
+#include "netwide/summary_channel.hpp"
 #include "trace/packet.hpp"
 
 namespace memento::netwide {
 
-enum class comm_method { sample, batch, aggregation };
+/// sample/batch/aggregation are the paper's Section 4.3 methods; summary is
+/// the snapshot layer's channel (vantages ship compressed sketch summaries,
+/// netwide/summary_channel.hpp).
+enum class comm_method { sample, batch, aggregation, summary };
 
 [[nodiscard]] constexpr const char* method_name(comm_method m) noexcept {
   switch (m) {
     case comm_method::sample: return "sample";
     case comm_method::batch: return "batch";
     case comm_method::aggregation: return "aggregation";
+    case comm_method::summary: return "summary";
   }
   return "unknown";
 }
@@ -73,6 +78,13 @@ class netwide_harness {
                                  config_.counters);
       }
       agg_controller_ = std::make_unique<ideal_aggregation_controller<H>>();
+    } else if (config_.method == comm_method::summary) {
+      const std::uint64_t local = config_.window / config_.num_points + 1;
+      for (std::size_t i = 0; i < config_.num_points; ++i) {
+        sum_points_.emplace_back(static_cast<std::uint32_t>(i), local, config_.counters,
+                                 config_.budget, config_.seed + i);
+      }
+      sum_controller_ = std::make_unique<summary_controller<H>>();
     } else {
       const double tau = config_.budget.max_tau(config_.batch_size);
       for (std::size_t i = 0; i < config_.num_points; ++i) {
@@ -93,6 +105,13 @@ class netwide_harness {
       if (auto report = agg_points_[v].observe(p)) {
         agg_controller_->on_report(std::move(*report));
       }
+    } else if (config_.method == comm_method::summary) {
+      // The summary channel's unit is bytes: decode what the vantage
+      // encoded, exactly as a controller process would off the wire.
+      if (auto payload = sum_points_[v].observe(p)) {
+        auto report = decode_summary_report<key_type>(*payload);
+        if (report) sum_controller_->on_report(std::move(*report));
+      }
     } else {
       if (auto report = points_[v].observe(p)) {
         controller_->on_report(*report);
@@ -104,6 +123,7 @@ class netwide_harness {
   /// (one-sided: never undercounts).
   [[nodiscard]] double estimate(const key_type& prefix) const {
     if (config_.method == comm_method::aggregation) return agg_controller_->query(prefix);
+    if (config_.method == comm_method::summary) return sum_controller_->query(prefix);
     return controller_->query(prefix);
   }
 
@@ -112,6 +132,7 @@ class netwide_harness {
   /// systematically fire early. Exact methods return their exact view.
   [[nodiscard]] double estimate_midpoint(const key_type& prefix) const {
     if (config_.method == comm_method::aggregation) return agg_controller_->query(prefix);
+    if (config_.method == comm_method::summary) return sum_controller_->query_point(prefix);
     return controller_->query_midpoint(prefix);
   }
 
@@ -121,6 +142,9 @@ class netwide_harness {
     if (config_.method == comm_method::aggregation) {
       return agg_controller_->output(theta, config_.window);
     }
+    if (config_.method == comm_method::summary) {
+      return sum_controller_->output(theta, config_.window);
+    }
     return controller_->output(theta, /*compensation=*/0.0);
   }
 
@@ -129,6 +153,7 @@ class netwide_harness {
     double total = 0.0;
     for (const auto& mp : points_) total += mp.bytes_sent(config_.budget);
     for (const auto& ap : agg_points_) total += ap.bytes_sent();
+    for (const auto& sp : sum_points_) total += sp.bytes_sent();
     return total;
   }
 
@@ -141,6 +166,7 @@ class netwide_harness {
     std::uint64_t total = 0;
     for (const auto& mp : points_) total += mp.reports_sent();
     for (const auto& ap : agg_points_) total += ap.reports_sent();
+    for (const auto& sp : sum_points_) total += sp.reports_sent();
     return total;
   }
 
@@ -160,8 +186,10 @@ class netwide_harness {
   harness_config config_;
   std::vector<measurement_point> points_;
   std::vector<aggregating_point<H>> agg_points_;
+  std::vector<summary_point<H>> sum_points_;
   std::unique_ptr<d_h_memento_controller<H>> controller_;
   std::unique_ptr<ideal_aggregation_controller<H>> agg_controller_;
+  std::unique_ptr<summary_controller<H>> sum_controller_;
   std::uint64_t packets_ = 0;
 };
 

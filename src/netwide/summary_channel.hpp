@@ -1,0 +1,210 @@
+// The Summary communication method: vantages periodically ship compressed
+// sketch summaries (snapshot/summary.hpp) instead of per-packet samples.
+//
+// Where Sample/Batch move the ALGORITHM to the controller (vantages are
+// dumb samplers, the controller runs one big H-Memento), the summary
+// channel moves the algorithm to the VANTAGE: each measurement point runs a
+// local H-Memento over its share of the traffic at full rate (tau = 1,
+// on-box updates cost no control bytes) and periodically serializes its
+// candidate set - a window_summary - onto the wire. The controller merges
+// the latest summary from each vantage.
+//
+// Cost model (budget_model): a summary costs O transport bytes plus the
+// encoded payload; the vantage accrues B bytes of allowance per observed
+// packet and ships whenever the allowance covers the CURRENT summary size,
+// so the channel self-paces - fatter candidate sets ship less often. Byte
+// accounting charges the actual encoded size, so it is exact for what
+// crosses the wire.
+//
+// Accuracy trade (measured by bench/netwide_bytes.cpp): summaries carry
+// full per-vantage estimates (no sampling error) but are STALE between
+// reports, and a prefix whose mass is spread thinly across vantages can sit
+// below every local candidate bar. Sample/Batch pay per-packet sampling
+// error but are always fresh. The controller's one-sided query() charges
+// every vantage without an entry its miss bound, preserving the
+// never-undercount contract; query_point() sums entries alone and is the
+// near-unbiased input for RMSE comparisons.
+//
+// Decoding is bounds-checked end to end (util/wire.hpp): any truncated or
+// corrupt summary report decodes to nullopt, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/h_memento.hpp"
+#include "hierarchy/hhh_solver.hpp"
+#include "netwide/budget.hpp"
+#include "snapshot/summary.hpp"
+#include "trace/packet.hpp"
+#include "util/wire.hpp"
+
+namespace memento::netwide {
+
+/// One summary report from a vantage: who, how much traffic it covers, and
+/// the summarized candidate estimates.
+template <typename Key>
+struct summary_report {
+  std::uint32_t origin = 0;
+  std::uint64_t covered_packets = 0;  ///< packets observed since the last report
+  window_summary<Key> summary;
+};
+
+/// Serializes a summary report payload (the O-byte transport header is
+/// external): u32 origin | u64 covered | window_summary section.
+template <typename Key>
+[[nodiscard]] std::vector<std::uint8_t> encode_summary_report(const summary_report<Key>& report) {
+  wire::writer w;
+  w.u32(report.origin);
+  w.u64(report.covered_packets);
+  report.summary.save(w);
+  return w.take();
+}
+
+/// Parses a summary report payload; nullopt on any truncation, corruption,
+/// or trailing garbage.
+template <typename Key>
+[[nodiscard]] std::optional<summary_report<Key>> decode_summary_report(
+    std::span<const std::uint8_t> bytes) {
+  wire::reader r(bytes);
+  summary_report<Key> report;
+  if (!r.u32(report.origin) || !r.u64(report.covered_packets)) return std::nullopt;
+  auto summary = window_summary<Key>::restore(r);
+  if (!summary || !r.done()) return std::nullopt;
+  report.summary = std::move(*summary);
+  return report;
+}
+
+/// Vantage side: a full-rate local H-Memento plus budget-gated summary
+/// emission. observe() returns the ENCODED payload when one ships - the
+/// channel's unit really is bytes, and the harness decodes them back.
+template <typename H>
+class summary_point {
+ public:
+  using key_type = typename H::key_type;
+
+  /// @param id           vantage identifier stamped on reports.
+  /// @param local_window the vantage's share of the global window (W / m).
+  /// @param counters     local H-Memento counter budget.
+  summary_point(std::uint32_t id, std::uint64_t local_window, std::size_t counters,
+                const budget_model& budget, std::uint64_t seed = 1)
+      : algo_(h_memento_config{local_window, counters, /*tau=*/1.0, /*delta=*/1e-3,
+                               seed ^ (0x726d75530ULL * (id + 1))}),
+        budget_(budget),
+        id_(id) {}
+
+  /// Observes one ingress packet; returns an encoded summary report when
+  /// enough byte allowance has accrued to pay for the current summary.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> observe(const packet& p) {
+    algo_.update(p);
+    ++covered_;
+    ++observed_total_;
+    accrued_ += budget_.bytes_per_packet;
+    // An empty candidate set carries no information: keep accruing instead
+    // of wasting a header on the wire.
+    if (algo_.inner().candidate_count() == 0) return std::nullopt;
+    // Gate on the model estimate first (cheap) so the encode below runs
+    // once per report, not once per packet. The estimate must cover the
+    // payload's fixed preamble (origin + covered + section header + the
+    // summary's scalar fields) or the re-check against the actual size
+    // would fail for the next preamble/B packets, re-encoding the full
+    // summary on every one of them.
+    const double estimated = kPayloadPreambleBytes +
+                             budget_.summary_report_bytes(algo_.inner().candidate_count());
+    if (accrued_ < estimated) return std::nullopt;
+
+    summary_report<key_type> report{id_, covered_, window_summary<key_type>::from_hhh(algo_)};
+    auto payload = encode_summary_report(report);
+    const double actual =
+        budget_.overhead_bytes + static_cast<double>(payload.size());
+    if (accrued_ < actual) return std::nullopt;  // varint slack put it just over
+    accrued_ -= actual;
+    bytes_sent_ += actual;
+    covered_ = 0;
+    ++reports_sent_;
+    return payload;
+  }
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t observed_total() const noexcept { return observed_total_; }
+  [[nodiscard]] std::uint64_t reports_sent() const noexcept { return reports_sent_; }
+  /// Actual control bytes spent (O + encoded payload, per report).
+  [[nodiscard]] double bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] const h_memento<H>& algorithm() const noexcept { return algo_; }
+
+ private:
+  /// Upper bound on the encoded payload's fixed (non-entry) bytes: u32
+  /// origin + u64 covered + 8B section header + window/stream varints
+  /// (<= 10B each) + two f64 scalars + the entry-count varint.
+  static constexpr double kPayloadPreambleBytes = 66.0;
+
+  h_memento<H> algo_;
+  budget_model budget_;
+  std::uint32_t id_;
+  double accrued_ = 0.0;
+  double bytes_sent_ = 0.0;
+  std::uint64_t covered_ = 0;
+  std::uint64_t observed_total_ = 0;
+  std::uint64_t reports_sent_ = 0;
+};
+
+/// Controller side: keeps the latest summary per vantage and answers over
+/// their merge-on-read union.
+template <typename H>
+class summary_controller {
+ public:
+  using key_type = typename H::key_type;
+
+  void on_report(summary_report<key_type> report) {
+    snapshots_[report.origin] = std::move(report.summary);
+    ++reports_;
+  }
+
+  /// One-sided global estimate: per vantage, the entry when the prefix was
+  /// summarized, otherwise that vantage's miss bound (client-hash routing
+  /// spreads a prefix's mass across vantages, so a vantage without an entry
+  /// may still hold up to its miss bound of it).
+  [[nodiscard]] double query(const key_type& prefix) const {
+    double total = 0.0;
+    for (const auto& [origin, summary] : snapshots_) total += summary.query(prefix);
+    return total;
+  }
+
+  /// Entry-sum estimate (near-unbiased; no miss-bound padding) - the right
+  /// input for RMSE comparisons and threshold triggers.
+  [[nodiscard]] double query_point(const key_type& prefix) const {
+    double total = 0.0;
+    for (const auto& [origin, summary] : snapshots_) total += summary.query_entry(prefix);
+    return total;
+  }
+
+  /// HHH over the merged candidate union at threshold theta (fraction of
+  /// `window`). Compensation-free, like the other methods' harness output.
+  [[nodiscard]] std::vector<hhh_entry<key_type>> output(double theta,
+                                                       std::uint64_t window) const {
+    std::vector<key_type> candidates;
+    for (const auto& [origin, summary] : snapshots_) {
+      summary.for_each([&](const key_type& key, double) { candidates.push_back(key); });
+    }
+    return solve_hhh<H>(
+        std::move(candidates),
+        [this](const key_type& k) {
+          const double point = query_point(k);
+          return freq_bounds{point, point};
+        },
+        theta * static_cast<double>(window), /*compensation=*/0.0);
+  }
+
+  [[nodiscard]] std::size_t vantages_heard() const noexcept { return snapshots_.size(); }
+  [[nodiscard]] std::uint64_t reports_received() const noexcept { return reports_; }
+
+ private:
+  std::unordered_map<std::uint32_t, window_summary<key_type>> snapshots_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace memento::netwide

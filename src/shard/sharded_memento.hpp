@@ -67,12 +67,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/memento.hpp"
 #include "shard/partitioner.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 
@@ -262,6 +265,43 @@ class sharded_memento {
            static_cast<double>(shard.stream_length());
   }
 
+  // --- snapshot support ------------------------------------------------------
+  // A frontend snapshot is the ordered sequence of its shards' snapshots;
+  // the partitioner is pure (key hash + shard count), so the shard count is
+  // all it needs to come back identical. Restored frontends route, sample
+  // and answer bit-identically. Individual shard sections are also the unit
+  // the reshard path (snapshot/reshard.hpp) consumes.
+
+  static constexpr std::uint16_t kWireTag = 0x5348;  ///< "SH"
+  static constexpr std::uint16_t kWireVersion = 1;
+
+  /// Serializes the frontend as one versioned section.
+  void save(wire::writer& w) const {
+    const std::size_t tok = w.begin_section(kWireTag, kWireVersion);
+    w.varint(shards_.size());
+    for (const auto& shard : shards_) shard.save(w);
+    w.end_section(tok);
+  }
+
+  /// Rebuilds a frontend from save() output; nullopt on any malformed input
+  /// (see memento_sketch::restore for the per-shard validation contract).
+  [[nodiscard]] static std::optional<sharded_memento> restore(wire::reader& r) {
+    std::uint16_t version = 0;
+    wire::reader body;
+    if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
+    std::uint64_t n = 0;
+    if (!body.varint(n) || n == 0 || n > kMaxRestoreShards) return std::nullopt;
+    std::vector<sketch_type> shards;
+    shards.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t s = 0; s < n; ++s) {
+      auto shard = sketch_type::restore(body);
+      if (!shard) return std::nullopt;
+      shards.push_back(std::move(*shard));
+    }
+    if (!body.done()) return std::nullopt;
+    return sharded_memento(std::move(shards));
+  }
+
   [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
   [[nodiscard]] const sketch_type& shard(std::size_t s) const noexcept { return shards_[s]; }
   /// Mutable shard access for the threaded pool's per-core workers; each
@@ -271,6 +311,19 @@ class sharded_memento {
   [[nodiscard]] const shard_partitioner<Key>& partitioner() const noexcept { return part_; }
 
  private:
+  /// Restore-side guard: nobody runs thousands of shards on one box.
+  static constexpr std::uint64_t kMaxRestoreShards = 4096;
+
+  friend class snapshot_builder;  ///< reshard constructs frontends from parts
+
+  /// Assembles a frontend directly from restored/resharded shard instances
+  /// (the partitioner is derived from the count). Snapshot-layer only: the
+  /// public ctor is the one that enforces the global-budget split.
+  explicit sharded_memento(std::vector<sketch_type>&& shards)
+      : part_(shards.size()), shards_(std::move(shards)) {
+    scratch_.resize(shards_.size());
+  }
+
   shard_partitioner<Key> part_;
   std::vector<sketch_type> shards_;
   std::vector<std::vector<Key>> scratch_;  ///< per-shard burst partitions (reused)

@@ -20,10 +20,12 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "util/flat_hash.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 
@@ -162,8 +164,178 @@ class space_saving {
     }
   }
 
+  // --- snapshot support ------------------------------------------------------
+  // The structure is serialized EXACTLY - counter slots, bucket chains, the
+  // bucket free list, and the index's slot layout - because behavior depends
+  // on all of it: eviction takes the head of the minimum bucket's chain,
+  // and chain order is operation-history. A restored instance therefore
+  // continues the stream bit-identically.
+
+  static constexpr std::uint16_t kWireTag = 0x5353;  ///< "SS"
+  static constexpr std::uint16_t kWireVersion = 1;
+
+  /// Serializes the full structure as one versioned section.
+  void save(wire::writer& w) const {
+    const std::size_t tok = w.begin_section(kWireTag, kWireVersion);
+    w.varint(counters_.size());
+    w.varint(used_);
+    w.u64(adds_);
+    w.u32(min_bucket_);
+    w.u32(bucket_free_);
+    w.varint(buckets_.size());
+    for (const bucket_node& b : buckets_) {
+      w.varint(b.count);
+      w.u32(b.head);
+      w.u32(b.prev);
+      w.u32(b.next);
+    }
+    for (std::size_t i = 0; i < used_; ++i) {
+      const counter_node& c = counters_[i];
+      wire::codec<Key>::put(w, c.key);
+      w.varint(c.count);
+      w.varint(c.overestimate);
+      w.u32(c.prev);
+      w.u32(c.next);
+      w.u32(c.bucket);
+      w.u32(c.islot);
+    }
+    index_.save(w);
+    w.end_section(tok);
+  }
+
+  /// Rebuilds an instance from save() output; nullopt on ANY malformed
+  /// input - unknown version, out-of-range link, index/counter mismatch,
+  /// broken chain topology - never a crash or a structurally unsound
+  /// instance. Every 32-bit link is range-checked, the index is
+  /// cross-checked entry-by-entry against the counters' islot
+  /// back-references, and the bucket lists are walked end to end (ascending
+  /// counts, doubly linked, chains owning their counters, free list
+  /// disjoint), so later operations are correct by construction.
+  [[nodiscard]] static std::optional<space_saving> restore(wire::reader& r) {
+    std::uint16_t version = 0;
+    wire::reader body;
+    if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
+
+    std::uint64_t cap = 0, used = 0, nbuckets = 0;
+    std::uint64_t adds = 0;
+    std::uint32_t min_bucket = 0, bucket_free = 0;
+    if (!body.varint(cap) || !body.varint(used) || !body.u64(adds)) return std::nullopt;
+    if (!body.u32(min_bucket) || !body.u32(bucket_free) || !body.varint(nbuckets)) {
+      return std::nullopt;
+    }
+    if (cap == 0 || cap >= npos || cap > kMaxRestoreCounters) return std::nullopt;
+    if (used > cap || nbuckets > 2 * cap + 2) return std::nullopt;
+    // Each bucket costs >= 13 bytes, each counter >= 26: reject lying counts
+    // before touching memory.
+    if (nbuckets * 13 > body.remaining()) return std::nullopt;
+
+    space_saving out(static_cast<std::size_t>(cap));
+    out.used_ = static_cast<std::size_t>(used);
+    out.adds_ = adds;
+    out.min_bucket_ = min_bucket;
+    out.bucket_free_ = bucket_free;
+    out.buckets_.resize(static_cast<std::size_t>(nbuckets));
+    const auto link_ok = [](std::uint32_t link, std::uint64_t bound) {
+      return link == npos || link < bound;
+    };
+    for (auto& b : out.buckets_) {
+      if (!body.varint(b.count) || !body.u32(b.head) || !body.u32(b.prev) || !body.u32(b.next)) {
+        return std::nullopt;
+      }
+      if (!link_ok(b.head, used) || !link_ok(b.prev, nbuckets) || !link_ok(b.next, nbuckets)) {
+        return std::nullopt;
+      }
+    }
+    if (used * 26 > body.remaining()) return std::nullopt;
+    for (std::size_t i = 0; i < out.used_; ++i) {
+      counter_node& c = out.counters_[i];
+      if (!wire::codec<Key>::get(body, c.key) || !body.varint(c.count) ||
+          !body.varint(c.overestimate)) {
+        return std::nullopt;
+      }
+      if (!body.u32(c.prev) || !body.u32(c.next) || !body.u32(c.bucket) || !body.u32(c.islot)) {
+        return std::nullopt;
+      }
+      if (c.count == 0 || c.overestimate >= c.count) return std::nullopt;
+      if (!link_ok(c.prev, used) || !link_ok(c.next, used)) return std::nullopt;
+      if (c.bucket >= nbuckets) return std::nullopt;  // live counters own a bucket
+    }
+    if (!link_ok(min_bucket, nbuckets) || !link_ok(bucket_free, nbuckets)) return std::nullopt;
+    // The eviction path dereferences buckets_[min_bucket_].head whenever the
+    // structure is non-empty; an empty structure must have no minimum.
+    if ((out.used_ > 0) != (min_bucket != npos)) return std::nullopt;
+    // Topology: range-valid links are not enough - a counter pointing at
+    // the wrong (but in-range) bucket would silently corrupt counts on the
+    // next add. Walk the live bucket list (ascending, doubly linked, every
+    // chain owning its counters at the bucket's count) and the free list,
+    // and require them to partition the node arrays exactly.
+    std::vector<std::uint8_t> counter_seen(out.used_, 0);
+    std::vector<std::uint8_t> bucket_seen(out.buckets_.size(), 0);
+    std::uint64_t live_counters = 0;
+    std::uint64_t prev_count = 0;
+    std::uint32_t prev_bkt = npos;
+    for (std::uint32_t bkt = min_bucket; bkt != npos; bkt = out.buckets_[bkt].next) {
+      if (bucket_seen[bkt]) return std::nullopt;  // cycle
+      bucket_seen[bkt] = 1;
+      const bucket_node& b = out.buckets_[bkt];
+      if (b.prev != prev_bkt) return std::nullopt;
+      if (prev_bkt != npos && b.count <= prev_count) return std::nullopt;  // ascending
+      if (b.head == npos) return std::nullopt;  // emptied buckets are freed, never linked
+      prev_count = b.count;
+      prev_bkt = bkt;
+      std::uint32_t prev_counter = npos;
+      for (std::uint32_t c = b.head; c != npos; c = out.counters_[c].next) {
+        if (counter_seen[c]) return std::nullopt;  // cycle or shared counter
+        counter_seen[c] = 1;
+        const counter_node& node = out.counters_[c];
+        if (node.bucket != bkt || node.count != b.count || node.prev != prev_counter) {
+          return std::nullopt;
+        }
+        prev_counter = c;
+        ++live_counters;
+      }
+    }
+    if (live_counters != out.used_) return std::nullopt;
+    for (std::uint32_t bkt = bucket_free; bkt != npos; bkt = out.buckets_[bkt].next) {
+      if (bucket_seen[bkt]) return std::nullopt;  // cycle, or stealing a live node
+      bucket_seen[bkt] = 1;
+    }
+    for (const std::uint8_t seen : bucket_seen) {
+      if (!seen) return std::nullopt;  // every node is live or free, nothing leaks
+    }
+
+    if (!out.index_.restore(body) || !body.done()) return std::nullopt;
+    if (out.index_.size() != out.used_) return std::nullopt;
+    // The index must keep the constructor's headroom (reserve(2 * cap)):
+    // add()'s prehashed probes assume the table never needs to grow, so an
+    // undersized image would overflow or spin on a later add, and bucket()
+    // values computed against it would be wrong. Honest saves always ship
+    // the reserved capacity; anything smaller is malformed.
+    if (out.index_.capacity() - out.index_.capacity() / 4 < 2 * out.counters_.size()) {
+      return std::nullopt;
+    }
+    // Cross-check: the index must be a bijection onto the live counters,
+    // with each counter's islot naming its key's exact slot. Together with
+    // the size check this rejects duplicated or dangling entries.
+    bool consistent = true;
+    out.index_.for_each_slot([&](std::size_t pos, const Key& key, std::uint32_t value) {
+      if (value >= out.used_ || !(out.counters_[value].key == key) ||
+          out.counters_[value].islot != pos) {
+        consistent = false;
+      }
+    });
+    if (!consistent) return std::nullopt;
+    return out;
+  }
+
  private:
   static constexpr std::uint32_t npos = std::numeric_limits<std::uint32_t>::max();
+  /// Restore-side allocation guard: far above any real config (the paper's
+  /// k is hundreds to thousands) while bounding what a crafted tiny
+  /// snapshot can make restore() allocate before rejection to tens of MB.
+  static constexpr std::uint64_t kMaxRestoreCounters = std::uint64_t{1} << 18;
+
+  friend class snapshot_builder;  ///< reshard's bulk state loader (snapshot/reshard.hpp)
 
   struct counter_node {
     Key key{};

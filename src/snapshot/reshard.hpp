@@ -1,0 +1,221 @@
+// Elastic reshard: re-route a sharded Memento deployment from N shards to M
+// through its snapshot state, without replaying the stream.
+//
+// This is the ROADMAP's "octet -> shard rebalancing" enabler: scale a
+// frontend out (N < M) when a box saturates, or in (N > M) when traffic
+// drops, keeping the window's heavy-hitter state alive across the change.
+// The partition function is pure (key hash mod shard count), so resharding
+// is a deterministic re-bucketing of per-key state:
+//
+//   * overflow-table entries (the candidate set and its block counts) carry
+//     over EXACTLY - a flow's B[x] is the same number in its new shard;
+//   * block-queue occurrences carry over with their ring AGE rescaled from
+//     the old ring (k_old + 1 slots) to the new (k_new + 1), so each
+//     overflow still expires roughly when its originating block leaves the
+//     window;
+//   * in-frame Space-Saving entries re-bucket by their new owner; when a
+//     new shard inherits more entries than its k_new counters (possible
+//     when M < N), the smallest-count entries are dropped - each loses at
+//     most one in-frame residue (< T sampled packets, i.e. < T/tau original
+//     packets, within the +-2T slack the query already carries);
+//   * the new shards start at the old deployment's average window phase and
+//     a fresh sampler sequence (continuation is deterministic but not
+//     bit-identical to any pre-reshard timeline - there is no such timeline
+//     to match).
+//
+// Accuracy contract (pinned by tests/snapshot_test.cpp): estimates move by
+// at most one threshold unit per key plus the usual per-shard coverage
+// drift, so the Zipf recall/precision bars of tests/shard_test.cpp hold
+// across an N -> M reshard. Queue retirement pacing restarts, so a burst of
+// carried overflows can momentarily exceed the one-retirement-per-packet
+// dent; the defensive drain in rotate_blocks() (counted, never unsafe)
+// absorbs the difference.
+//
+// Requirements checked at runtime (nullopt otherwise): same tau and same
+// per-shard overflow threshold between the old and new geometry - i.e. the
+// same GLOBAL window/counter/tau budget, with only the shard count
+// changing. Heterogeneous or incompatible inputs are rejected, never
+// mis-merged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/memento.hpp"
+#include "shard/partitioner.hpp"
+#include "shard/sharded_memento.hpp"
+#include "sketch/space_saving.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace memento {
+
+/// Privileged assembler of sketch state for the snapshot layer: the one
+/// friend of space_saving / memento_sketch / sharded_memento that may build
+/// instances from parts instead of from a stream.
+class snapshot_builder {
+ public:
+  /// Re-partitions a live N-shard frontend into config.shards shards.
+  /// nullopt when the geometries are incompatible (different tau or
+  /// per-shard overflow threshold, heterogeneous source shards).
+  template <typename Key>
+  [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(
+      const sharded_memento<Key>& old, const shard_config& config) {
+    if (config.shards == 0 || config.window_size == 0 || config.counters == 0) {
+      return std::nullopt;
+    }
+    // Source shards must be one geometry (restore() accepts any sequence of
+    // individually valid shards; reshard does not).
+    const auto& ref = old.shard(0);
+    for (std::size_t o = 1; o < old.num_shards(); ++o) {
+      const auto& s = old.shard(o);
+      if (s.counters() != ref.counters() || s.window_size() != ref.window_size() ||
+          s.tau() != ref.tau()) {
+        return std::nullopt;
+      }
+    }
+
+    sharded_memento<Key> fresh(config);
+    if (fresh.shard(0).tau() != ref.tau() ||
+        fresh.shard(0).overflow_threshold() != ref.overflow_threshold()) {
+      return std::nullopt;
+    }
+
+    const std::size_t m = fresh.num_shards();
+    const shard_partitioner<Key>& owner = fresh.partitioner();
+    const std::size_t k_old = ref.counters();
+    const std::size_t k_new = fresh.shard(0).counters();
+
+    struct carried {
+      Key key{};
+      std::uint64_t count = 0;
+      std::uint64_t overestimate = 0;
+    };
+    std::vector<std::vector<carried>> counters(m);
+    std::vector<std::vector<std::pair<Key, std::uint32_t>>> overflow(m);
+    std::vector<std::vector<std::pair<std::uint32_t, Key>>> queued(m);  // (new age, key)
+
+    std::uint64_t sum_clock = 0, sum_frame = 0, sum_stream = 0;
+    for (std::size_t o = 0; o < old.num_shards(); ++o) {
+      const auto& src = old.shard(o);
+      sum_clock += src.window_phase();
+      sum_frame += src.window_size();
+      sum_stream += src.stream_length();
+      src.y_.for_each([&](const Key& key, std::uint64_t count, std::uint64_t over) {
+        counters[owner(key)].push_back({key, count, over});
+      });
+      src.overflows_.for_each([&](const Key& key, std::uint32_t b) {
+        overflow[owner(key)].push_back({key, b});
+      });
+      // Walk the ring newest-first so ages are deterministic: age 0 is the
+      // current block, age k_old the one about to expire.
+      const std::size_t ring = src.blocks_.size();
+      for (std::size_t age = 0; age < ring; ++age) {
+        const std::size_t slot = (src.head_ + ring - age) % ring;
+        const auto& q = src.blocks_[slot];
+        const auto new_age = scale_age(age, k_old, k_new);
+        for (std::size_t i = q.next; i < q.items.size(); ++i) {
+          queued[owner(q.items[i])].push_back({new_age, q.items[i]});
+        }
+      }
+    }
+
+    // All new shards restart at the old deployment's average window phase.
+    const std::uint64_t frame = fresh.shard(0).window_size();
+    std::uint64_t clock = sum_frame == 0 ? 0
+                                         : static_cast<std::uint64_t>(
+                                               static_cast<double>(sum_clock) /
+                                               static_cast<double>(sum_frame) *
+                                               static_cast<double>(frame));
+    if (clock >= frame) clock = frame - 1;
+
+    for (std::size_t s = 0; s < m; ++s) {
+      auto& dst = fresh.shards_[s];
+      if (!load_space_saving(dst.y_, counters[s], k_new)) return std::nullopt;
+      for (const auto& [key, b] : overflow[s]) {
+        // Disjoint old shards can never contribute the same key twice; a
+        // duplicate means the snapshot is not a valid partition (e.g. a
+        // crafted buffer repeating one shard section). Reject, never
+        // double-merge.
+        if (dst.overflows_.contains(key)) return std::nullopt;
+        dst.overflows_.find_or_emplace(key, 0) += b;
+      }
+      const std::size_t ring = dst.blocks_.size();  // k_new + 1
+      for (const auto& [age, key] : queued[s]) {
+        dst.blocks_[(ring - age) % ring].items.push_back(key);
+      }
+      dst.head_ = 0;  // age a lives at slot (ring - a) % ring
+      dst.clock_ = clock;
+      dst.until_block_end_ = dst.block_len_ - clock % dst.block_len_;
+      dst.stream_length_ = sum_stream / m;
+    }
+    return fresh;
+  }
+
+  /// Snapshot-bytes overload: restore the old frontend, then reshard it.
+  template <typename Key>
+  [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(
+      std::span<const std::uint8_t> snapshot_bytes, const shard_config& config) {
+    auto old = snapshot::restore<sharded_memento<Key>>(snapshot_bytes);
+    if (!old) return std::nullopt;
+    return reshard(*old, config);
+  }
+
+ private:
+  /// Maps an old-ring age onto the new ring, rounding to nearest so carried
+  /// overflows expire as close as possible to their original schedule.
+  [[nodiscard]] static std::uint32_t scale_age(std::size_t age, std::size_t k_old,
+                                               std::size_t k_new) noexcept {
+    const std::size_t scaled = (age * k_new + k_old / 2) / k_old;
+    return static_cast<std::uint32_t>(std::min(scaled, k_new));
+  }
+
+  /// Rebuilds a (flushed) Space-Saving instance from carried entries in
+  /// canonical form: counters ascending by count, one bucket per distinct
+  /// count, chains in insertion order. Inherits at most `capacity` entries,
+  /// keeping the heaviest. Returns false - the snapshot is not a valid
+  /// disjoint partition - when a key appears twice.
+  template <typename Key, typename Carried>
+  [[nodiscard]] static bool load_space_saving(space_saving<Key>& ss,
+                                              std::vector<Carried>& entries,
+                                              std::size_t capacity) {
+    using ss_t = space_saving<Key>;
+    ss.flush();
+    std::sort(entries.begin(), entries.end(), [](const Carried& a, const Carried& b) {
+      return a.count != b.count ? a.count < b.count : a.key < b.key;
+    });
+    const std::size_t skip = entries.size() > capacity ? entries.size() - capacity : 0;
+    std::uint32_t last_bucket = ss_t::npos;
+    std::uint64_t adds = 0;
+    for (std::size_t n = skip; n < entries.size(); ++n) {
+      const Carried& e = entries[n];
+      const std::size_t home = ss.index_.bucket(e.key);
+      if (ss.index_.find_prehashed(home, e.key) != nullptr) return false;  // duplicate key
+      const auto idx = static_cast<std::uint32_t>(ss.used_++);
+      auto& c = ss.counters_[idx];
+      c.key = e.key;
+      c.count = e.count;
+      c.overestimate = e.overestimate;
+      c.islot = static_cast<std::uint32_t>(ss.index_.emplace_prehashed(home, e.key, idx));
+      if (last_bucket == ss_t::npos || ss.buckets_[last_bucket].count != e.count) {
+        const std::uint32_t bkt = ss.new_bucket(e.count);
+        ss.buckets_[bkt].prev = last_bucket;
+        if (last_bucket != ss_t::npos) {
+          ss.buckets_[last_bucket].next = bkt;
+        } else {
+          ss.min_bucket_ = bkt;
+        }
+        last_bucket = bkt;
+      }
+      ss.push_counter(idx, last_bucket);
+      adds += e.count;
+    }
+    ss.adds_ = adds;
+    return true;
+  }
+};
+
+}  // namespace memento

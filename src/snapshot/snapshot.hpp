@@ -1,0 +1,62 @@
+// Snapshot envelope: the byte-level entry point of the snapshot layer.
+//
+// Every serializable object in this repository (space_saving,
+// memento_sketch, h_memento, sharded_memento, window_summary) knows how to
+// write itself as one versioned wire section (util/wire.hpp) and how to
+// rebuild itself from one, rejecting malformed input with nullopt. This
+// header adds the outermost framing a snapshot needs to live OUTSIDE a
+// process - on disk, in an object store, or on a control channel: a magic
+// number (so a reader can cheaply reject files that are not snapshots at
+// all) and a no-trailing-garbage rule (so a concatenation bug cannot
+// silently truncate state).
+//
+//   auto bytes  = snapshot::save(sketch);                    // std::vector<uint8_t>
+//   auto copy   = snapshot::restore<memento_sketch<>>(bytes) // std::optional
+//
+// A restored object answers every query bit-identically to the original
+// and, fed the same subsequent stream, continues bit-identically - the
+// round-trip contract pinned by tests/snapshot_test.cpp. Typical uses:
+// failover checkpoints, shard migration (snapshot on the old owner,
+// restore on the new one), and the reshard path in snapshot/reshard.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/wire.hpp"
+
+namespace memento::snapshot {
+
+/// First four bytes of every snapshot ("MEMO", little-endian).
+inline constexpr std::uint32_t kMagic = 0x4f4d454d;
+
+/// Serializes `object` into a self-contained snapshot buffer. Returns an
+/// EMPTY buffer when the state cannot be framed (a section body past the
+/// 4 GiB length field - orders of magnitude beyond any real deployment);
+/// an empty buffer never restores, so the failure cannot be mistaken for a
+/// usable checkpoint.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> save(const T& object) {
+  wire::writer w;
+  w.u32(kMagic);
+  object.save(w);
+  if (!w.ok()) return {};
+  return w.take();
+}
+
+/// Rebuilds a T from a snapshot buffer. nullopt - never a crash or a
+/// partial object - on a wrong magic, a type/version mismatch, any
+/// structural corruption, or trailing garbage.
+template <typename T>
+[[nodiscard]] std::optional<T> restore(std::span<const std::uint8_t> bytes) {
+  wire::reader r(bytes);
+  std::uint32_t magic = 0;
+  if (!r.u32(magic) || magic != kMagic) return std::nullopt;
+  auto out = T::restore(r);
+  if (!out || !r.done()) return std::nullopt;
+  return out;
+}
+
+}  // namespace memento::snapshot

@@ -24,10 +24,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "util/random.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 
@@ -190,8 +192,90 @@ class flat_hash {
   /// Slot-array size (a power of two; 0 before the first insert/reserve).
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  // --- snapshot support ------------------------------------------------------
+  // The table is serialized by EXACT slot layout, not as a key/value bag:
+  // slot positions feed back into behavior (Space-Saving keeps islot
+  // back-references; for_each order is slot order, and through it candidate
+  // iteration order), so a restored table must probe, iterate and relocate
+  // exactly like the original - the bit-identical-continuation guarantee of
+  // the snapshot layer rests on it.
+
+  /// Invokes fn(slot_pos, key, value) for every entry in slot order. Used by
+  /// restore-side cross-checks (e.g. Space-Saving's islot validation).
+  template <typename Fn>
+  void for_each_slot(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].used) fn(i, slots_[i].key, slots_[i].value);
+    }
+  }
+
+  /// Serializes capacity + the used slots (ascending position).
+  void save(wire::writer& w) const {
+    w.varint(slots_.size());
+    w.varint(size_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].used) continue;
+      w.varint(i);
+      wire::codec<Key>::put(w, slots_[i].key);
+      w.varint(static_cast<std::uint64_t>(slots_[i].value));
+    }
+  }
+
+  /// Rebuilds the exact layout from save() output. Returns false - leaving
+  /// the table empty - on ANY structural violation: capacity not a power of
+  /// two (or absurd), overload, positions out of range or non-ascending, or
+  /// an entry that a probe from its home bucket would not reach (which
+  /// would make it silently unfindable). Malformed bytes can never produce
+  /// a table that crashes later.
+  [[nodiscard]] bool restore(wire::reader& r) {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+    std::uint64_t cap = 0, count = 0;
+    if (!r.varint(cap) || !r.varint(count)) return false;
+    if (cap == 0) return count == 0;
+    if (cap < kMinCapacity || cap > kMaxRestoreCapacity || (cap & (cap - 1)) != 0) return false;
+    if (count > cap - cap / 4) return false;
+    // An honest save of `count` entries occupies at least 10 bytes each
+    // (pos + 8-byte key + value); reject lying counts before allocating.
+    if (count * 10 > r.remaining()) return false;
+    slots_.assign(static_cast<std::size_t>(cap), slot{});
+    mask_ = static_cast<std::size_t>(cap) - 1;
+    std::uint64_t prev_pos = 0;
+    for (std::uint64_t n = 0; n < count; ++n) {
+      std::uint64_t pos = 0, value = 0;
+      Key key{};
+      if (!r.varint(pos) || !wire::codec<Key>::get(r, key) || !r.varint(value)) return false;
+      if (pos >= cap || (n > 0 && pos <= prev_pos)) return false;
+      if (value > std::numeric_limits<Value>::max()) return false;
+      prev_pos = pos;
+      place(static_cast<std::size_t>(pos), key, static_cast<Value>(value));
+    }
+    // Probe-reachability: every entry must be findable by walking from its
+    // home bucket through used slots. Rejecting here keeps find()'s "empty
+    // slot terminates the probe" invariant true for restored tables.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].used) continue;
+      std::size_t walk = bucket_of(slots_[i].key);
+      std::size_t steps = 0;
+      while (walk != i) {
+        if (!slots_[walk].used || ++steps > size_) {
+          clear();
+          return false;
+        }
+        walk = next(walk);
+      }
+    }
+    return true;
+  }
+
  private:
   static constexpr std::size_t kMinCapacity = 8;
+  /// Restore-side allocation guard: real sketch tables run thousands of
+  /// slots, so anything near this in a snapshot is garbage, not data. The
+  /// cap also bounds the transient allocation a malicious tiny payload can
+  /// trigger before rejection (~50 MB of slots at 2^21).
+  static constexpr std::size_t kMaxRestoreCapacity = std::size_t{1} << 21;
 
   struct slot {
     Key key{};

@@ -91,6 +91,20 @@ class xoshiro256 {
     return fastrange64((*this)(), bound);
   }
 
+  using state_type = std::array<std::uint64_t, 4>;
+
+  /// Generator state, for checkpoint/restore (snapshot layer). Restoring the
+  /// state restores the exact output sequence.
+  [[nodiscard]] constexpr state_type state() const noexcept { return state_; }
+
+  /// Replaces the state. Rejects the all-zero state (the one fixpoint the
+  /// generator cannot leave), so a malformed snapshot cannot wedge the PRNG.
+  constexpr bool set_state(const state_type& s) noexcept {
+    if ((s[0] | s[1] | s[2] | s[3]) == 0) return false;
+    state_ = s;
+    return true;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
@@ -163,6 +177,19 @@ class random_table_sampler {
   }
 
   [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }
+
+  /// Read cursor into the table, for checkpoint/restore: a sampler rebuilt
+  /// from the same (tau, table_size, seed) with the cursor restored emits
+  /// the exact decision sequence the original would have.
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+
+  /// Restores the cursor; false (and no change) when out of range, so a
+  /// malformed snapshot cannot park the cursor past the table.
+  bool set_cursor(std::size_t c) noexcept {
+    if (c >= table_.size()) return false;
+    cursor_ = c;
+    return true;
+  }
 
  private:
   std::vector<std::uint64_t> table_;

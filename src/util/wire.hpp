@@ -1,0 +1,206 @@
+// Shared wire primitives for everything this repository serializes: the
+// netwide control-channel codecs (netwide/codec.hpp, summary_channel.hpp)
+// and the snapshot layer (snapshot/*.hpp, plus the save()/restore() members
+// on the sketches themselves).
+//
+// Design rules, enforced here once so every consumer inherits them:
+//
+//   * fixed-width integers are little-endian with no padding - the byte
+//     layout is the contract, identical across platforms;
+//   * varints are LEB128 (7 bits per byte, low group first), capped at 10
+//     bytes so a malformed stream cannot spin the decoder;
+//   * every read is bounds-checked and returns false instead of touching
+//     out-of-range memory - a decoder built on `reader` can be fed ANY byte
+//     garbage and must only ever answer "no" (the fuzz tests in
+//     tests/codec_test.cpp and tests/snapshot_test.cpp hold it to that);
+//   * composite objects frame themselves with a versioned section header
+//     (u16 tag | u16 version | u32 body length), so readers can reject
+//     unknown tags/versions cheaply and skip to the end of what they do
+//     understand.
+//
+// The reader never allocates; the writer only appends to one vector.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace memento::wire {
+
+/// Append-only little-endian serializer. Sections nest (tokens are plain
+/// byte offsets), and `take()` releases the buffer without a copy.
+class writer {
+ public:
+  void reserve(std::size_t n) { out_.reserve(n); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+
+  /// IEEE double by bit pattern (total order not needed; exactness is).
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// LEB128: 7 bits per byte, low group first, high bit = continuation.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
+  /// Opens a versioned section: writes `u16 tag | u16 version | u32 length`
+  /// with the length patched by end_section(). Returns the token to pass
+  /// there. Sections may nest; close them innermost-first.
+  [[nodiscard]] std::size_t begin_section(std::uint16_t tag, std::uint16_t version) {
+    u16(tag);
+    u16(version);
+    const std::size_t token = out_.size();
+    u32(0);  // length placeholder
+    return token;
+  }
+
+  /// Closes the section opened at `token` (its body is everything written
+  /// since). A body exceeding the u32 length field poisons the writer (see
+  /// ok()) instead of silently wrapping the framing.
+  void end_section(std::size_t token) {
+    const std::size_t body = out_.size() - token - 4;
+    if (body > std::numeric_limits<std::uint32_t>::max()) {
+      overflowed_ = true;
+      return;
+    }
+    const auto len = static_cast<std::uint32_t>(body);
+    for (int i = 0; i < 4; ++i) out_[token + i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+
+  /// False once any section body overflowed its length field; the buffer's
+  /// framing is then corrupt and must not be shipped or stored.
+  [[nodiscard]] bool ok() const noexcept { return !overflowed_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return out_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(out_); }
+
+ private:
+  void put_le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t> out_;
+  bool overflowed_ = false;
+};
+
+/// Bounds-checked little-endian deserializer over a borrowed span. Every
+/// getter returns false (and consumes nothing further) on truncation;
+/// callers chain `if (!r.u32(x)) return std::nullopt;` style checks.
+class reader {
+ public:
+  reader() = default;
+  explicit reader(std::span<const std::uint8_t> in) noexcept : in_(in) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) noexcept {
+    if (remaining() < 1) return false;
+    v = in_[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] bool u16(std::uint16_t& v) noexcept { return get_le(v, 2); }
+  [[nodiscard]] bool u32(std::uint32_t& v) noexcept { return get_le(v, 4); }
+  [[nodiscard]] bool u64(std::uint64_t& v) noexcept { return get_le(v, 8); }
+
+  [[nodiscard]] bool f64(double& v) noexcept {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// LEB128 decode; rejects streams running past 10 bytes (the 64-bit max)
+  /// or overflowing 64 bits, so garbage cannot spin or wrap the decoder.
+  [[nodiscard]] bool varint(std::uint64_t& v) noexcept {
+    v = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+      std::uint8_t byte = 0;
+      if (!u8(byte)) return false;
+      if (shift == 63 && (byte & 0xFE)) return false;  // would overflow 64 bits
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if (!(byte & 0x80)) return true;
+    }
+    return false;
+  }
+
+  /// Borrows the next n bytes (no copy); false when fewer remain.
+  [[nodiscard]] bool bytes(std::size_t n, std::span<const std::uint8_t>& out) noexcept {
+    if (remaining() < n) return false;
+    out = in_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// Opens a section written by writer::begin_section: checks the tag,
+  /// surfaces the version, hands back a reader bounded to the body, and
+  /// advances this reader past it. Tag mismatch or a length running past
+  /// the buffer is a decode failure.
+  [[nodiscard]] bool open_section(std::uint16_t expected_tag, std::uint16_t& version,
+                                  reader& body) noexcept {
+    std::uint16_t tag = 0;
+    std::uint32_t len = 0;
+    if (!u16(tag) || !u16(version) || !u32(len)) return false;
+    if (tag != expected_tag || len > remaining()) return false;
+    body = reader(in_.subspan(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return in_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == in_.size(); }
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool get_le(T& v, int n) noexcept {
+    if (remaining() < static_cast<std::size_t>(n)) return false;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < n; ++i) acc |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+    pos_ += static_cast<std::size_t>(n);
+    v = static_cast<T>(acc);
+    return true;
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+/// Key codec used by the templated sketch save()/restore() members. The
+/// default covers the integral keys every sketch in this repository uses
+/// (u32 addresses, u64 flow ids / prefix keys); other key types opt in by
+/// specializing. Fixed 8-byte encoding: snapshot size is dominated by the
+/// counter payloads, and a fixed width keeps the format trivially auditable.
+template <typename T>
+struct codec {
+  static_assert(std::is_integral_v<T> && sizeof(T) <= 8,
+                "specialize memento::wire::codec<T> for non-integral keys");
+
+  static void put(writer& w, const T& v) {
+    w.u64(static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(v)));
+  }
+
+  [[nodiscard]] static bool get(reader& r, T& v) noexcept {
+    std::uint64_t raw = 0;
+    if (!r.u64(raw)) return false;
+    if constexpr (sizeof(T) < 8) {
+      if (raw > static_cast<std::uint64_t>(std::make_unsigned_t<T>(-1))) return false;
+    }
+    v = static_cast<T>(raw);
+    return true;
+  }
+};
+
+}  // namespace memento::wire

@@ -107,6 +107,77 @@ TEST(Codec, RejectsLyingCountField) {
   EXPECT_FALSE(decode_report(bytes, sample_encoding::src_only).has_value());
 }
 
+TEST(Codec, GoldenBytesPinTheWireLayout) {
+  // The sample_report layout predates the shared wire layer
+  // (util/wire.hpp); refactoring the codec onto it must keep the payload
+  // byte-identical. These bytes are the contract - if this test fails, the
+  // change broke every deployed vantage/controller pairing.
+  sample_report r;
+  r.origin = 0x01020304;
+  r.covered_packets = 0x1122334455667788ull;
+  r.samples.push_back(packet{0xAABBCCDD, 0x10203040});
+  r.samples.push_back(packet{0x00000001, 0xFFFFFFFF});
+
+  const std::vector<std::uint8_t> golden_src = {
+      0x04, 0x03, 0x02, 0x01,                          // origin, LE
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // covered, LE
+      0x02, 0x00, 0x00, 0x00,                          // count
+      0xDD, 0xCC, 0xBB, 0xAA,                          // sample 0 src
+      0x01, 0x00, 0x00, 0x00,                          // sample 1 src
+  };
+  EXPECT_EQ(encode_report(r, sample_encoding::src_only), golden_src);
+
+  const std::vector<std::uint8_t> golden_srcdst = {
+      0x04, 0x03, 0x02, 0x01,                          // origin
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // covered
+      0x02, 0x00, 0x00, 0x00,                          // count
+      0xDD, 0xCC, 0xBB, 0xAA, 0x40, 0x30, 0x20, 0x10,  // sample 0 (src, dst)
+      0x01, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF,  // sample 1 (src, dst)
+  };
+  EXPECT_EQ(encode_report(r, sample_encoding::src_and_dst), golden_srcdst);
+}
+
+class CodecFuzz : public ::testing::TestWithParam<sample_encoding> {};
+
+TEST_P(CodecFuzz, EveryTruncationRejectedEveryBitFlipSurvived) {
+  // Decode hardening: feed every prefix of a valid payload (must be
+  // nullopt: the count/size cross-check makes any truncation detectable)
+  // and every single-bit-flipped variant (must never crash or yield a
+  // structurally broken report; a flip confined to sample/origin bytes MAY
+  // decode - to a different but well-formed report). Runs under ASan/UBSan
+  // in CI, which promotes any out-of-bounds read into a test failure.
+  const auto encoding = GetParam();
+  const auto valid = encode_report(make_report(13, 4, 500), encoding);
+
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    EXPECT_FALSE(
+        decode_report(std::span<const std::uint8_t>(valid.data(), cut), encoding).has_value())
+        << "accepted truncation at " << cut;
+  }
+
+  auto mutated = valid;
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      mutated[i] = valid[i] ^ static_cast<std::uint8_t>(1u << bit);
+      const auto decoded = decode_report(mutated, encoding);
+      if (decoded.has_value()) {
+        // Whatever decoded must satisfy every structural invariant.
+        EXPECT_EQ(decoded->samples.size() * static_cast<std::size_t>(encoding) + 16,
+                  valid.size());
+        EXPECT_GE(decoded->covered_packets, decoded->samples.size());
+      }
+    }
+    mutated[i] = valid[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEncodings, CodecFuzz,
+                         ::testing::Values(sample_encoding::src_only,
+                                           sample_encoding::src_and_dst),
+                         [](const auto& info) {
+                           return info.param == sample_encoding::src_only ? "src" : "srcdst";
+                         });
+
 TEST(Codec, DecodedReportDrivesController) {
   // End-to-end: encode at the vantage, decode at the controller, feed it.
   d_memento_controller controller(10000, 128, 0.5);

@@ -4,13 +4,18 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "netwide/aggregation.hpp"
 #include "netwide/batch_optimizer.hpp"
 #include "netwide/controller.hpp"
 #include "netwide/measurement_point.hpp"
 #include "netwide/simulation.hpp"
+#include "netwide/summary_channel.hpp"
 #include "sketch/exact_hhh.hpp"
+#include "snapshot/summary.hpp"
 #include "trace/trace_generator.hpp"
 
 namespace memento::netwide {
@@ -323,8 +328,112 @@ TEST_P(HarnessBudget, StaysWithinBytePerPacketBudget) {
 
 INSTANTIATE_TEST_SUITE_P(AllMethods, HarnessBudget,
                          ::testing::Values(comm_method::sample, comm_method::batch,
-                                           comm_method::aggregation),
+                                           comm_method::aggregation, comm_method::summary),
                          [](const auto& info) { return method_name(info.param); });
+
+// --- the summary channel ------------------------------------------------------------
+
+TEST(BudgetModel, SummaryChannelAccounting) {
+  budget_model b{1.0, 64.0, 4.0, 16.0};
+  EXPECT_DOUBLE_EQ(b.summary_report_bytes(0), 64.0);
+  EXPECT_DOUBLE_EQ(b.summary_report_bytes(100), 64.0 + 1600.0);
+  EXPECT_DOUBLE_EQ(b.packets_per_summary(100), 1664.0);
+  b.bytes_per_packet = 0.5;
+  EXPECT_DOUBLE_EQ(b.packets_per_summary(100), 3328.0);
+}
+
+TEST(SummaryChannel, ReportCodecRoundTripsAndRejectsGarbage) {
+  summary_point<source_hierarchy> point(7, 20000, 256, budget_model{4.0, 64.0, 4.0}, 3);
+  trace_generator gen(trace_kind::backbone, 11);
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 200000 && payload.empty(); ++i) {
+    if (auto p = point.observe(gen.next())) payload = std::move(*p);
+  }
+  ASSERT_FALSE(payload.empty()) << "vantage never accrued a summary";
+
+  const auto report = decode_summary_report<std::uint64_t>(payload);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->origin, 7u);
+  EXPECT_GT(report->covered_packets, 0u);
+  EXPECT_FALSE(report->summary.empty());
+  // The vantage's own estimates survive the wire exactly.
+  report->summary.for_each([&](const std::uint64_t& key, double est) {
+    ASSERT_DOUBLE_EQ(est, point.algorithm().query(key));
+  });
+
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(decode_summary_report<std::uint64_t>(
+                     std::span<const std::uint8_t>(payload.data(), cut))
+                     .has_value())
+        << "accepted truncation at " << cut;
+  }
+  auto garbage = payload;
+  garbage.push_back(0x00);
+  EXPECT_FALSE(decode_summary_report<std::uint64_t>(garbage).has_value());
+}
+
+TEST(SummaryChannel, BudgetGatesSummaryCadence) {
+  const budget_model budget{1.0, 64.0, 4.0};
+  summary_point<source_hierarchy> point(0, 10000, 128, budget, 5);
+  trace_generator gen(trace_kind::backbone, 13);
+  for (int i = 0; i < 150000; ++i) (void)point.observe(gen.next());
+  ASSERT_GT(point.reports_sent(), 0u);
+  // Byte accounting charges actual encoded sizes and must respect B.
+  EXPECT_LE(point.bytes_sent() / static_cast<double>(point.observed_total()),
+            budget.bytes_per_packet * 1.05);
+}
+
+TEST(SummaryChannel, ControllerSumsVantagesOneSidedly) {
+  summary_controller<source_hierarchy> controller;
+  const std::uint64_t hot = prefix1d::make_key(0x0A000000u, 3);
+
+  // Two vantages, each holding part of the /8's mass.
+  for (std::uint32_t origin = 0; origin < 2; ++origin) {
+    h_memento<source_hierarchy> local(10000, 256, 1.0, 1e-3, origin + 1);
+    for (int i = 0; i < 20000; ++i) {
+      local.update(packet{0x0A000000u | static_cast<std::uint32_t>(i % 999), 1});
+    }
+    controller.on_report(summary_report<std::uint64_t>{
+        origin, 20000, window_summary<std::uint64_t>::from_hhh(local)});
+  }
+  EXPECT_EQ(controller.vantages_heard(), 2u);
+  EXPECT_EQ(controller.reports_received(), 2u);
+  // Entry-sum sees both vantages' estimates; the /8 carried all traffic.
+  EXPECT_GT(controller.query_point(hot), 10000.0);
+  // One-sided query dominates the entry sum (miss bounds only add).
+  EXPECT_GE(controller.query(hot), controller.query_point(hot));
+  const auto hhh = controller.output(0.5, 20000);
+  EXPECT_FALSE(hhh.empty());
+}
+
+TEST(Harness, SummaryMethodTracksAHotSubnet) {
+  harness_config cfg;
+  cfg.method = comm_method::summary;
+  cfg.num_points = 10;
+  cfg.window = 30000;
+  cfg.budget = budget_model{4.0, 64.0, 4.0};  // summaries are chunky; give headroom
+  cfg.counters = 2000;
+  netwide_harness<source_hierarchy> harness(cfg);
+
+  xoshiro256 rng(21);
+  trace_generator gen(trace_kind::backbone, 31);
+  for (int i = 0; i < 100000; ++i) {
+    packet p = rng.uniform01() < 0.4 ? packet{0x0A000000u | static_cast<std::uint32_t>(
+                                                  rng.bounded(1 << 24)),
+                                              9}
+                                     : gen.next();
+    harness.ingest(p);
+  }
+  ASSERT_GT(harness.reports_sent(), 0u);
+  // The midpoint estimate (entry sums across vantages) tracks the subnet's
+  // ~40% share; summaries are stale between reports, so the tolerance is
+  // wider than the batch method's.
+  const double est = harness.estimate_midpoint(prefix1d::make_key(0x0A000000u, 3));
+  EXPECT_NEAR(est, 0.4 * static_cast<double>(cfg.window),
+              0.35 * static_cast<double>(cfg.window));
+  // One-sided estimate dominates the midpoint.
+  EXPECT_GE(harness.estimate(prefix1d::make_key(0x0A000000u, 3)), est);
+}
 
 TEST(Harness, BatchDefaultsToTheorem55Optimum) {
   harness_config cfg;
