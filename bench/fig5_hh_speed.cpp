@@ -12,18 +12,25 @@
 // mechanics (pre-drawn sampling, chunked hashing + prefetch, hoisted
 // window bookkeeping). `fig5/hh_speed_sharded` adds the multicore axis:
 // the same bursts through sharded_memento_pool at N = 1..8 shards, wall-
-// clock timed (scaling requires >= N physical cores to show). bench/
+// clock timed (scaling requires >= N physical cores to show).
+// `fig5/hh_speed_rebalanced` adds the skew axis: Zipf 0.6-1.2 elephant
+// mixes scored static-hashing vs the coverage_rebalancer's weighted table
+// (load ratio, window-coverage spread, recall vs an exact oracle). bench/
 // summarize.py reduces the JSON output of this binary into BENCH_fig5.json,
-// the per-PR throughput trajectory artifact, including the scaling curve.
+// the per-PR throughput trajectory artifact, including the scaling curve
+// and the `rebalance` section.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "core/memento.hpp"
+#include "shard/rebalance.hpp"
 #include "shard/shard_pool.hpp"
+#include "sketch/exact_window.hpp"
 #include "trace/trace_generator.hpp"
 
 namespace {
@@ -138,6 +145,157 @@ void hh_speed_sharded(benchmark::State& state) {
                  "/shards=" + std::to_string(shards));
 }
 
+// Skew-aware rebalancing row (args: alpha_x10): a Zipf(alpha) background
+// with three injected elephant flows (25% of traffic combined) that static
+// hashing piles onto ONE of 4 shards. Each iteration builds the skewed
+// deployment, forks a static-hashing control arm, rebalances the other arm
+// (coverage_rebalancer through the snapshot reshard path - the measured
+// rebalance_ms), then streams a second phase into both arms and scores
+// them: realized max/min shard load ratio, window_coverage() spread, and
+// heavy-hitter recall against an exact window oracle. Mpps is the
+// rebalanced arm's phase-2 update throughput (the weighted table's routing
+// cost rides in it). summarize.py folds these rows - with the static
+// counters alongside - into BENCH_fig5.json's `rebalance` section: the
+// recall/coverage-recovered-versus-static record.
+void hh_speed_rebalanced(benchmark::State& state) {
+  const double alpha = static_cast<double>(state.range(0)) / 10.0;
+  constexpr std::uint64_t kRebalWindow = 250'000;
+  constexpr std::size_t kShards = 4;
+  constexpr double kTheta = 0.01;
+
+  shard_config cfg;
+  cfg.window_size = kRebalWindow;
+  cfg.counters = 512;
+  cfg.tau = 1.0;
+  cfg.seed = 1;
+  cfg.shards = kShards;
+
+  // Three elephants, all hashed onto shard 0, each in its own bucket (a
+  // separately movable unit). 25% of the stream combined: the overloaded
+  // shard carries ~0.25 + 0.75/4 ~ 44% of the update load.
+  const shard_partitioner<std::uint64_t> probe(kShards);
+  std::vector<std::uint64_t> elephants;
+  std::vector<std::size_t> taken;
+  for (std::uint64_t x = 1u << 20; elephants.size() < 3; ++x) {
+    if (probe(x) != 0) continue;
+    const std::size_t b = probe.bucket_of(x);
+    if (std::find(taken.begin(), taken.end(), b) != taken.end()) continue;
+    elephants.push_back(x);
+    taken.push_back(b);
+  }
+  const auto make_mix = [&](std::size_t n, std::uint64_t seed) {
+    trace_generator gen(trace_config{1u << 14, alpha, seed, 0});
+    std::vector<std::uint64_t> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(i % 4 == 0 ? elephants[(i / 4) % elephants.size()]
+                               : flow_id(gen.next()));
+    }
+    return ids;
+  };
+  const auto phase_a = make_mix(600'000, 7);
+  const auto phase_b = make_mix(400'000, 8);
+  exact_window<std::uint64_t> oracle(kRebalWindow);
+  for (const auto id : phase_b) oracle.add(id);
+  std::vector<std::uint64_t> truth;
+  oracle.for_each([&](const std::uint64_t& key, std::uint64_t count) {
+    if (static_cast<double>(count) >= kTheta * static_cast<double>(kRebalWindow)) {
+      truth.push_back(key);
+    }
+  });
+
+  // Scoring shared with tests/rebalance_test.cpp: shard_load_ratio and
+  // coverage_spread come from shard/rebalance.hpp, so the CI-asserted
+  // artifact and the acceptance test measure the same thing (including the
+  // starved-shard = +infinity convention, guarded below before JSON).
+  const auto recall = [&](const sharded_memento<std::uint64_t>& f) {
+    const auto found = f.heavy_hitters(kTheta);
+    std::size_t hit = 0;
+    for (const auto& key : truth) {
+      if (std::any_of(found.begin(), found.end(),
+                      [&](const auto& hh) { return hh.key == key; })) {
+        ++hit;
+      }
+    }
+    return truth.empty() ? 1.0
+                         : static_cast<double>(hit) / static_cast<double>(truth.size());
+  };
+  const auto stream_base = [](const sharded_memento<std::uint64_t>& f) {
+    std::vector<std::uint64_t> base;
+    for (std::size_t s = 0; s < f.num_shards(); ++s) {
+      base.push_back(f.shard(s).stream_length());
+    }
+    return base;
+  };
+
+  const coverage_rebalancer policy;
+  double elapsed_static = 0.0, elapsed_rebalanced = 0.0, rebalance_seconds = 0.0;
+  double r_static = 0.0, r_rebalanced = 0.0, s_static = 0.0, s_rebalanced = 0.0;
+  double rec_static = 0.0, rec_rebalanced = 0.0;
+  using clock = std::chrono::steady_clock;
+  for (auto _ : state) {
+    sharded_memento<std::uint64_t> front(cfg);
+    for (std::size_t i = 0; i < phase_a.size(); i += kBurst) {
+      front.update_batch(phase_a.data() + i, std::min(kBurst, phase_a.size() - i));
+    }
+    sharded_memento<std::uint64_t> static_front = front;
+
+    const auto t0 = clock::now();
+    const bool moved = front.rebalance(policy);
+    rebalance_seconds += std::chrono::duration<double>(clock::now() - t0).count();
+    if (!moved) {
+      state.SkipWithError("rebalance did not trigger on the elephant mix");
+      break;
+    }
+
+    const auto base_static = stream_base(static_front);
+    const auto base_rebalanced = stream_base(front);
+    const auto t1 = clock::now();
+    for (std::size_t i = 0; i < phase_b.size(); i += kBurst) {
+      static_front.update_batch(phase_b.data() + i, std::min(kBurst, phase_b.size() - i));
+    }
+    const auto t2 = clock::now();
+    for (std::size_t i = 0; i < phase_b.size(); i += kBurst) {
+      front.update_batch(phase_b.data() + i, std::min(kBurst, phase_b.size() - i));
+    }
+    const auto t3 = clock::now();
+    elapsed_static += std::chrono::duration<double>(t2 - t1).count();
+    elapsed_rebalanced += std::chrono::duration<double>(t3 - t2).count();
+
+    r_static = shard_load_ratio(static_front, base_static);
+    r_rebalanced = shard_load_ratio(front, base_rebalanced);
+    s_static = coverage_spread(static_front);
+    s_rebalanced = coverage_spread(front);
+    rec_static = recall(static_front);
+    rec_rebalanced = recall(front);
+    // A starved shard scores +infinity, which must fail the run loudly -
+    // not reach the JSON artifact (where it would break the parser) or be
+    // mistaken for balance.
+    if (!std::isfinite(r_static) || !std::isfinite(r_rebalanced)) {
+      state.SkipWithError("a shard received no phase-2 packets");
+      break;
+    }
+    benchmark::DoNotOptimize(front.candidate_count());
+  }
+
+  const double iters = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(iters) *
+                          static_cast<std::int64_t>(phase_b.size()));
+  state.counters["Mpps"] = iters * static_cast<double>(phase_b.size()) / 1e6 /
+                           (elapsed_rebalanced > 0.0 ? elapsed_rebalanced : 1.0);
+  state.counters["static_mpps"] = iters * static_cast<double>(phase_b.size()) / 1e6 /
+                                  (elapsed_static > 0.0 ? elapsed_static : 1.0);
+  state.counters["rebalance_ms"] = 1e3 * rebalance_seconds / iters;
+  state.counters["static_load_ratio"] = r_static;
+  state.counters["rebalanced_load_ratio"] = r_rebalanced;
+  state.counters["static_coverage_spread"] = s_static;
+  state.counters["rebalanced_coverage_spread"] = s_rebalanced;
+  state.counters["static_recall"] = rec_static;
+  state.counters["rebalanced_recall"] = rec_rebalanced;
+  state.SetLabel("elephant-zipf/alpha=" + std::to_string(state.range(0)) +
+                 "e-1/k=512/shards=4/theta=0.01");
+}
+
 void register_all() {
   for (int kind = 0; kind < 3; ++kind) {
     for (std::int64_t counters : {64, 512, 4096}) {
@@ -163,6 +321,15 @@ void register_all() {
             ->UseRealTime();  // wall clock, not per-thread CPU, for scaling
       }
     }
+  }
+  // Skew-aware rebalancing: Zipf 0.6-1.2 elephant mixes, static hashing vs
+  // the rebalanced weighted table (recall/coverage/load-balance recovered).
+  for (std::int64_t alpha_x10 : {6, 9, 12}) {
+    benchmark::RegisterBenchmark("fig5/hh_speed_rebalanced", hh_speed_rebalanced)
+        ->Args({alpha_x10})
+        ->MinTime(0.1)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
   }
 }
 

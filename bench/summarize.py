@@ -13,6 +13,10 @@ re-measuring the throughput benches.
 
 `--netwide` folds the netwide_bytes bench's error-per-byte rows (sample vs
 summary control channels) into a `netwide_bytes` section of the artifact.
+`--rebalance` folds a `fig5/hh_speed_rebalanced` measurement (raw Google
+Benchmark JSON) into the `rebalance` section without touching the other
+sections; the same section is also produced directly when the main input
+contains `_rebalanced` rows.
 
 The reducer keeps one record per benchmark config (name, label, Mpps) and,
 whenever a family has both a scalar and a `_batch` variant with the same
@@ -49,6 +53,37 @@ def split_name(name: str) -> tuple[str, str]:
     family = "/".join(parts[:2]) if len(parts) >= 2 else parts[0]
     args = "/".join(parts[2:])
     return family, args
+
+
+def reduce_rebalance(raw: dict) -> list:
+    """`fig5/hh_speed_rebalanced` rows -> the artifact's `rebalance` section.
+
+    Each bench row scores one Zipf-alpha elephant mix twice - static hashing
+    vs the coverage_rebalancer's weighted table - and reports the comparison
+    as custom counters (load ratio, window-coverage spread, recall vs an
+    exact oracle, migration latency). Carry those counters through verbatim,
+    one record per config, so the artifact reads as the skew-recovery
+    trajectory PR over PR.
+    """
+    keep_prefixes = ("static_", "rebalanced_", "rebalance_ms")
+    rows = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        family, args = split_name(b["name"])
+        if not family.endswith("_rebalanced"):
+            continue
+        row = {
+            "config": f"{family}/{args}",
+            "label": b.get("label", ""),
+            "mpps": round(b["Mpps"], 3) if b.get("Mpps") is not None else None,
+        }
+        for key, value in sorted(b.items()):
+            if key.startswith(keep_prefixes) and isinstance(value, (int, float)):
+                row[key] = round(value, 3)
+        rows.append(row)
+    rows.sort(key=lambda r: r["config"])
+    return rows
 
 
 def reduce_benchmarks(raw: dict) -> dict:
@@ -124,7 +159,7 @@ def reduce_benchmarks(raw: dict) -> dict:
         )
 
     context = raw.get("context", {})
-    return {
+    summary = {
         "generated_by": "bench/summarize.py",
         "host": {
             "num_cpus": context.get("num_cpus"),
@@ -135,6 +170,10 @@ def reduce_benchmarks(raw: dict) -> dict:
         "pairs": pairs,
         "scaling": scaling,
     }
+    rebalance = reduce_rebalance(raw)
+    if rebalance:
+        summary["rebalance"] = rebalance
+    return summary
 
 
 def main() -> int:
@@ -149,6 +188,11 @@ def main() -> int:
         default=None,
         help="netwide_bytes --json output to fold in as the `netwide_bytes` section",
     )
+    ap.add_argument(
+        "--rebalance",
+        default=None,
+        help="fig5 raw JSON with hh_speed_rebalanced rows to fold in as the `rebalance` section",
+    )
     args = ap.parse_args()
 
     with open(args.input, encoding="utf-8") as f:
@@ -160,6 +204,13 @@ def main() -> int:
     if args.netwide:
         with open(args.netwide, encoding="utf-8") as f:
             summary["netwide_bytes"] = json.load(f)["netwide_bytes"]
+    if args.rebalance:
+        with open(args.rebalance, encoding="utf-8") as f:
+            rows = reduce_rebalance(json.load(f))
+        if not rows:
+            sys.stderr.write("summarize.py: --rebalance input has no _rebalanced rows\n")
+            return 1
+        summary["rebalance"] = rows
     text = json.dumps(summary, indent=2) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:

@@ -6,11 +6,17 @@
 //      NIC-burst-sized spans (each shard's worker drives the batch kernel);
 //   3. drain() and query: point lookups route to the owning shard, set
 //      queries merge the disjoint per-shard candidate sets;
-//   4. print the per-shard load/phase picture an operator would monitor.
+//   4. print the per-shard load/phase picture an operator would monitor;
+//   5. skew the mix with elephant flows that static hashing piles onto one
+//      shard, then rebalance() behind the drain barrier and watch the
+//      load/coverage picture recover (docs/ACCURACY.md has the model).
 //
 // Run: build/examples/sharded_ingest
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "shard/rebalance.hpp"
 #include "shard/shard_pool.hpp"
 #include "shard/sharded_memento.hpp"
 #include "trace/trace_generator.hpp"
@@ -64,5 +70,57 @@ int main() {
 
   const auto hh = front.heavy_hitters(0.001);
   std::printf("\nheavy hitters at theta=0.1%%: %zu flows\n", hh.size());
+
+  // --- skew the mix, then rebalance ---------------------------------------
+  // Three elephant flows, all hashed onto one shard but each in its OWN
+  // bucket (keys probed off the frontend's partitioner) - a bucket is the
+  // rebalancer's migration unit, so distinct buckets are what lets it split
+  // them. Together they now carry 25% of the traffic: the classic mix
+  // static hashing cannot balance.
+  std::vector<std::uint64_t> elephants;
+  std::vector<std::size_t> buckets_taken;
+  for (std::uint64_t x = 1u << 20; elephants.size() < 3; ++x) {
+    if (front.shard_of(x) != 0) continue;
+    const std::size_t b = front.partitioner().bucket_of(x);
+    if (std::find(buckets_taken.begin(), buckets_taken.end(), b) != buckets_taken.end()) continue;
+    elephants.push_back(x);
+    buckets_taken.push_back(b);
+  }
+  for (std::size_t sent = 0; sent < kPackets; sent += kBurst) {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      burst[i] = i % 4 == 0 ? elephants[(sent + i) % elephants.size()] : flow_id(gen.next());
+    }
+    pool.ingest(burst.data(), burst.size());
+  }
+  pool.drain();
+  std::printf("\nafter an elephant-heavy phase (3 flows = 25%% of traffic on shard 0):\n");
+  for (std::size_t s = 0; s < front.num_shards(); ++s) {
+    std::printf("  shard %zu: %8llu pkts, coverage %.0f global pkts\n", s,
+                static_cast<unsigned long long>(front.shard(s).stream_length()),
+                front.window_coverage(s));
+  }
+
+  // rebalance(): drain barrier + plan (coverage_rebalancer) + state
+  // migration through the snapshot reshard path + table publish. The
+  // workers pick the new routing up with the next burst.
+  const bool moved = pool.rebalance(coverage_rebalancer{});
+  std::printf("\nrebalance(): %s\n", moved ? "migrated hot buckets" : "no-op (balanced)");
+  for (std::size_t sent = 0; sent < kPackets; sent += kBurst) {  // same skewed mix
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      burst[i] = i % 4 == 0 ? elephants[(sent + i) % elephants.size()] : flow_id(gen.next());
+    }
+    pool.ingest(burst.data(), burst.size());
+  }
+  pool.drain();
+  std::printf("same mix after rebalancing (weighted bucket table in effect):\n");
+  for (std::size_t s = 0; s < front.num_shards(); ++s) {
+    std::printf("  shard %zu: %8llu pkts, coverage %.0f global pkts (elephant owners:", s,
+                static_cast<unsigned long long>(front.shard(s).stream_length()),
+                front.window_coverage(s));
+    for (const auto e : elephants) {
+      if (front.shard_of(e) == s) std::printf(" %llx", static_cast<unsigned long long>(e));
+    }
+    std::printf(")\n");
+  }
   return 0;
 }

@@ -235,6 +235,16 @@ class memento_sketch {
     return 4.0 * static_cast<double>(threshold_) * inv_tau_;
   }
 
+  /// The one-sided slack every estimate carries even for a never-seen key:
+  /// tau^-1 * 2T (Algorithm 1 line 25 with B[x] absent and zero residue) -
+  /// query(x) >= miss_baseline() for every x. Subtracting it from query()
+  /// yields the ATTRIBUTABLE window mass of a flow, which is the per-flow
+  /// load signal the shard rebalancer samples candidates with
+  /// (shard/rebalance.hpp).
+  [[nodiscard]] double miss_baseline() const noexcept {
+    return inv_tau_ * 2.0 * static_cast<double>(threshold_);
+  }
+
   /// All window heavy hitters at threshold theta (fraction of W): flows whose
   /// one-sided estimate reaches theta * W. Guaranteed to contain every true
   /// window heavy hitter (every such flow overflows within the window).

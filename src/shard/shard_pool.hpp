@@ -31,6 +31,12 @@
 // Backoff: an empty worker spins briefly, then yields, then parks in
 // exponentially growing sleeps (capped at 128us), so idle shards cost ~0 CPU
 // and the pool degrades gracefully when threads exceed cores.
+//
+// Rebalancing: rebalance(policy) quiesces the rings (drain barrier) and
+// swaps the frontend onto a new bucket -> shard table - the workers pick up
+// the replacement shards through the same release-push/acquire-pop pairs
+// that carry ordinary bursts, so the publish needs no extra synchronization
+// (see the method comment, and shard/rebalance.hpp for the policy).
 #pragma once
 
 #include <atomic>
@@ -124,6 +130,29 @@ class sharded_memento_pool {
   /// drain() and the next ingest() (enforced by discipline, not locks).
   [[nodiscard]] const frontend_type& frontend() const noexcept { return core_; }
 
+  /// Skew-aware rebalance behind the drain barrier: quiesce every ring,
+  /// then let `policy` (e.g. coverage_rebalancer) migrate the frontend onto
+  /// a better bucket -> shard table and publish it by swapping core_.
+  ///
+  /// Why this is TSan-clean with no locks added: after drain() observes
+  /// every ring empty (acquire), the workers' last sketch mutations
+  /// happen-before this thread (their release-pop published them), and an
+  /// empty-ring worker touches nothing but its ring's atomics and stop_ -
+  /// worker_loop re-resolves its shard reference only AFTER front_span()
+  /// returns data, i.e. after the acquire that pairs with the producer's
+  /// release-push, which in turn happens after this swap. So the table
+  /// publish rides the exact acquire/release pairs the ingest path already
+  /// owns. Caller discipline is the same as for queries: call from the
+  /// (single) producer thread, not concurrently with ingest().
+  ///
+  /// Returns true when a migration happened (see
+  /// sharded_memento::rebalance for the no-op cases).
+  template <typename Policy>
+  bool rebalance(const Policy& policy) {
+    drain();
+    return core_.rebalance(policy);
+  }
+
   // --- post-drain query passthroughs (each drains first for safety) --------
 
   [[nodiscard]] double query(const Key& x) const {
@@ -152,7 +181,6 @@ class sharded_memento_pool {
  private:
   void worker_loop(std::size_t s) {
     spsc_ring<Key>& ring = *rings_[s];
-    auto& shard = core_.shard_mut(s);
     std::uint32_t idle = 0;
     for (;;) {
       const auto [data, n] = ring.front_span();
@@ -164,7 +192,12 @@ class sharded_memento_pool {
         continue;
       }
       idle = 0;
-      shard.update_batch(data, n);
+      // Resolve the shard reference AFTER observing data (acquire): the
+      // producer may have swapped core_ during a rebalance() while this
+      // ring was drained, and the release-push of the next burst is what
+      // publishes the replacement shards. Caching the reference across
+      // idle periods (as this loop once did) would dangle after the swap.
+      core_.shard_mut(s).update_batch(data, n);
       ring.pop(n);
     }
   }

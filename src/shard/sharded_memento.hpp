@@ -42,9 +42,12 @@
 // by ~(1 - coverage) * frequency in either direction. Deployments where
 // s_max is small (backbone-like mixes) get coverage ~1 everywhere and can
 // ignore this; deployments with elephants should monitor stream_skew() /
-// window_coverage() and either rebalance the partition or scale detection
-// bars by coverage (future work in ROADMAP.md). Both drift components and
-// their recall/precision impact are pinned by tests/shard_test.cpp
+// window_coverage() and call rebalance() with a placement policy
+// (shard/rebalance.hpp): the partitioner's TABLE mode re-routes hot hash
+// buckets onto cold shards through the snapshot reshard path, recovering
+// coverage without replaying the stream (docs/ACCURACY.md derives the
+// model; tests/rebalance_test.cpp pins the recovery). Both drift components
+// and their recall/precision impact are pinned by tests/shard_test.cpp
 // (PhaseDrift*, ShardedSkew*).
 //
 // Error accounting: the shard geometry divides both W and k by N, so the
@@ -96,21 +99,15 @@ class sharded_memento {
   using sketch_type = memento_sketch<Key>;
   using heavy_hitter = typename sketch_type::heavy_hitter;
 
-  explicit sharded_memento(const shard_config& config) : part_(config.shards) {
-    if (config.shards == 0) throw std::invalid_argument("sharded_memento: shards must be >= 1");
-    // Validate the GLOBAL budgets here: shard_share floors each shard's
-    // slice at 1, which would otherwise mask a zero budget the equivalent
-    // single-instance ctor rejects.
-    if (config.window_size == 0) throw std::invalid_argument("sharded_memento: W must be >= 1");
-    if (config.counters == 0) {
-      throw std::invalid_argument("sharded_memento: counters must be >= 1");
-    }
-    shards_.reserve(config.shards);
-    for (std::size_t s = 0; s < config.shards; ++s) {
-      shards_.emplace_back(shard_config_for(config, s));
-    }
-    scratch_.resize(config.shards);
-  }
+  explicit sharded_memento(const shard_config& config)
+      : sharded_memento(config, shard_partitioner<Key>(config.shards)) {}
+
+  /// Weighted (TABLE-mode) frontend: routes through `table` (see
+  /// partitioner.hpp). A uniform table is bit-identical to the plain ctor;
+  /// a skewed one is what the rebalancer installs. Throws on a table that
+  /// does not fit config.shards.
+  sharded_memento(const shard_config& config, shard_table table)
+      : sharded_memento(config, shard_partitioner<Key>(config.shards, std::move(table))) {}
 
   /// The memento_config shard s runs with: W and k divided by N (rounded up,
   /// never below 1) and a per-shard seed decorrelated via mix64, so shards
@@ -265,32 +262,83 @@ class sharded_memento {
            static_cast<double>(shard.stream_length());
   }
 
+  // --- rebalancing -----------------------------------------------------------
+
+  /// The global construction budget this frontend was built from, recovered
+  /// from the live shards (every shard runs the shard_share slice, so
+  /// per-shard * N is the rounded global budget; feeding it back through the
+  /// ctor reproduces the exact per-shard geometry). This is what reshard and
+  /// the rebalancer rebuild replacement frontends from.
+  [[nodiscard]] shard_config config_snapshot() const noexcept {
+    shard_config c;
+    c.window_size = shards_[0].window_size() * shards_.size();
+    c.counters = shards_[0].counters() * shards_.size();
+    c.tau = shards_[0].tau();
+    c.seed = base_seed_;
+    c.shards = shards_.size();
+    return c;
+  }
+
+  /// Skew-aware rebalance: asks `policy` (e.g. coverage_rebalancer in
+  /// shard/rebalance.hpp) to read the live load picture - per-shard
+  /// stream_length()/window_coverage(), per-bucket mass sampled from the
+  /// candidate sets - plan a new bucket -> shard table, and migrate the
+  /// window state onto it through the snapshot reshard path (no stream
+  /// replay; estimates move <= one threshold unit per key). Returns true
+  /// when a migration happened, false for the deliberate no-ops (already
+  /// balanced, or the plan equals the current table). Synchronous: *this is
+  /// atomically replaced before the call returns; callers in a threaded
+  /// deployment go through sharded_memento_pool::rebalance, which wraps
+  /// this in the drain barrier.
+  template <typename Policy>
+  bool rebalance(const Policy& policy) {
+    return policy.rebalance(*this);
+  }
+
   // --- snapshot support ------------------------------------------------------
-  // A frontend snapshot is the ordered sequence of its shards' snapshots;
-  // the partitioner is pure (key hash + shard count), so the shard count is
-  // all it needs to come back identical. Restored frontends route, sample
-  // and answer bit-identically. Individual shard sections are also the unit
-  // the reshard path (snapshot/reshard.hpp) consumes.
+  // A frontend snapshot is the routing state (base seed + bucket table, if
+  // weighted) followed by the ordered sequence of its shards' snapshots.
+  // Restored frontends route, sample and answer bit-identically - including
+  // through a rebalanced (weighted) table. Individual shard sections are
+  // also the unit the reshard path (snapshot/reshard.hpp) consumes.
 
   static constexpr std::uint16_t kWireTag = 0x5348;  ///< "SH"
-  static constexpr std::uint16_t kWireVersion = 1;
+  static constexpr std::uint16_t kWireVersion = 2;   ///< v2: + base seed, + bucket table
 
   /// Serializes the frontend as one versioned section.
   void save(wire::writer& w) const {
     const std::size_t tok = w.begin_section(kWireTag, kWireVersion);
     w.varint(shards_.size());
+    w.u64(base_seed_);
+    const shard_table& t = part_.table();
+    w.varint(t.buckets());  // 0 == HASH mode
+    for (const std::uint32_t s : t.to_shard) w.varint(s);
     for (const auto& shard : shards_) shard.save(w);
     w.end_section(tok);
   }
 
   /// Rebuilds a frontend from save() output; nullopt on any malformed input
-  /// (see memento_sketch::restore for the per-shard validation contract).
+  /// (see memento_sketch::restore for the per-shard validation contract;
+  /// the bucket table additionally must be non-degenerate for the shard
+  /// count - every entry in range, bucket count a multiple of N).
   [[nodiscard]] static std::optional<sharded_memento> restore(wire::reader& r) {
     std::uint16_t version = 0;
     wire::reader body;
     if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
-    std::uint64_t n = 0;
+    std::uint64_t n = 0, seed = 0, buckets = 0;
     if (!body.varint(n) || n == 0 || n > kMaxRestoreShards) return std::nullopt;
+    if (!body.u64(seed) || !body.varint(buckets)) return std::nullopt;
+    // Each table entry costs at least one byte, so a lying bucket count is
+    // rejected before the reserve below can allocate against it.
+    if (buckets > kMaxRestoreBuckets || buckets > body.remaining()) return std::nullopt;
+    shard_table table;
+    table.to_shard.reserve(static_cast<std::size_t>(buckets));
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+      std::uint64_t s = 0;
+      if (!body.varint(s) || s >= n) return std::nullopt;
+      table.to_shard.push_back(static_cast<std::uint32_t>(s));
+    }
+    if (buckets != 0 && !table.valid_for(static_cast<std::size_t>(n))) return std::nullopt;
     std::vector<sketch_type> shards;
     shards.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t s = 0; s < n; ++s) {
@@ -299,7 +347,10 @@ class sharded_memento {
       shards.push_back(std::move(*shard));
     }
     if (!body.done()) return std::nullopt;
-    return sharded_memento(std::move(shards));
+    auto part = buckets == 0
+                    ? shard_partitioner<Key>(static_cast<std::size_t>(n))
+                    : shard_partitioner<Key>(static_cast<std::size_t>(n), std::move(table));
+    return sharded_memento(std::move(shards), std::move(part), seed);
   }
 
   [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
@@ -311,22 +362,45 @@ class sharded_memento {
   [[nodiscard]] const shard_partitioner<Key>& partitioner() const noexcept { return part_; }
 
  private:
-  /// Restore-side guard: nobody runs thousands of shards on one box.
+  /// Restore-side guards: nobody runs thousands of shards on one box, and a
+  /// table bigger than 2^20 buckets is a corrupt length, not a deployment.
   static constexpr std::uint64_t kMaxRestoreShards = 4096;
+  static constexpr std::uint64_t kMaxRestoreBuckets = 1u << 20;
 
   friend class snapshot_builder;  ///< reshard constructs frontends from parts
 
+  /// The shared construction path: both public ctors land here with the
+  /// partitioner (HASH or TABLE mode) already built and validated.
+  sharded_memento(const shard_config& config, shard_partitioner<Key>&& part)
+      : part_(std::move(part)), base_seed_(config.seed) {
+    if (config.shards == 0) throw std::invalid_argument("sharded_memento: shards must be >= 1");
+    // Validate the GLOBAL budgets here: shard_share floors each shard's
+    // slice at 1, which would otherwise mask a zero budget the equivalent
+    // single-instance ctor rejects.
+    if (config.window_size == 0) throw std::invalid_argument("sharded_memento: W must be >= 1");
+    if (config.counters == 0) {
+      throw std::invalid_argument("sharded_memento: counters must be >= 1");
+    }
+    shards_.reserve(config.shards);
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      shards_.emplace_back(shard_config_for(config, s));
+    }
+    scratch_.resize(config.shards);
+  }
+
   /// Assembles a frontend directly from restored/resharded shard instances
-  /// (the partitioner is derived from the count). Snapshot-layer only: the
-  /// public ctor is the one that enforces the global-budget split.
-  explicit sharded_memento(std::vector<sketch_type>&& shards)
-      : part_(shards.size()), shards_(std::move(shards)) {
+  /// with an explicit router and seed. Snapshot-layer only: the public ctors
+  /// are the ones that enforce the global-budget split.
+  sharded_memento(std::vector<sketch_type>&& shards, shard_partitioner<Key>&& part,
+                  std::uint64_t base_seed)
+      : part_(std::move(part)), shards_(std::move(shards)), base_seed_(base_seed) {
     scratch_.resize(shards_.size());
   }
 
   shard_partitioner<Key> part_;
   std::vector<sketch_type> shards_;
   std::vector<std::vector<Key>> scratch_;  ///< per-shard burst partitions (reused)
+  std::uint64_t base_seed_ = 1;            ///< config.seed; reshard/rebalance reuse it
 };
 
 }  // namespace memento

@@ -36,6 +36,12 @@
 // same GLOBAL window/counter/tau budget, with only the shard count
 // changing. Heterogeneous or incompatible inputs are rejected, never
 // mis-merged.
+//
+// The weighted overload takes a bucket -> shard table (partitioner TABLE
+// mode) for the replacement frontend: same transport, different routing
+// function. That is the rebalancer's migration primitive - shard/
+// rebalance.hpp plans the table from the live load picture, this file moves
+// the state onto it.
 #pragma once
 
 #include <algorithm>
@@ -67,23 +73,70 @@ class snapshot_builder {
     if (config.shards == 0 || config.window_size == 0 || config.counters == 0) {
       return std::nullopt;
     }
-    // Source shards must be one geometry (restore() accepts any sequence of
-    // individually valid shards; reshard does not).
+    if (!compatible(old, config)) return std::nullopt;
+    sharded_memento<Key> fresh(config);
+    if (!transport(old, fresh)) return std::nullopt;
+    return fresh;
+  }
+
+  /// Weighted overload: the replacement frontend routes through `table`
+  /// (partitioner TABLE mode) instead of plain hashing - this is the
+  /// rebalancer's migration primitive (shard/rebalance.hpp plans the table,
+  /// this call moves the window state onto it). Same geometry contract as
+  /// the plain overload, plus the table must fit config.shards.
+  template <typename Key>
+  [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(
+      const sharded_memento<Key>& old, const shard_config& config, const shard_table& table) {
+    if (config.shards == 0 || config.window_size == 0 || config.counters == 0) {
+      return std::nullopt;
+    }
+    if (!table.valid_for(config.shards)) return std::nullopt;
+    if (!compatible(old, config)) return std::nullopt;
+    sharded_memento<Key> fresh(config, table);
+    if (!transport(old, fresh)) return std::nullopt;
+    return fresh;
+  }
+  /// Snapshot-bytes overload: restore the old frontend, then reshard it.
+  template <typename Key>
+  [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(
+      std::span<const std::uint8_t> snapshot_bytes, const shard_config& config) {
+    auto old = snapshot::restore<sharded_memento<Key>>(snapshot_bytes);
+    if (!old) return std::nullopt;
+    return reshard(*old, config);
+  }
+
+ private:
+  /// Source shards must be one geometry (restore() accepts any sequence of
+  /// individually valid shards; reshard does not), and the target must keep
+  /// tau and the per-shard overflow threshold - i.e. the same GLOBAL
+  /// window/counter/tau budget with only the routing changing.
+  template <typename Key>
+  [[nodiscard]] static bool compatible(const sharded_memento<Key>& old,
+                                       const shard_config& config) {
     const auto& ref = old.shard(0);
     for (std::size_t o = 1; o < old.num_shards(); ++o) {
       const auto& s = old.shard(o);
       if (s.counters() != ref.counters() || s.window_size() != ref.window_size() ||
           s.tau() != ref.tau()) {
-        return std::nullopt;
+        return false;
       }
     }
+    const memento_config probe =
+        sharded_memento<Key>::shard_config_for(config, /*shard=*/0);
+    const memento_sketch<Key> target(probe);
+    return target.tau() == ref.tau() &&
+           target.overflow_threshold() == ref.overflow_threshold();
+  }
 
-    sharded_memento<Key> fresh(config);
-    if (fresh.shard(0).tau() != ref.tau() ||
-        fresh.shard(0).overflow_threshold() != ref.overflow_threshold()) {
-      return std::nullopt;
-    }
-
+  /// The state move: re-buckets every piece of window state from `old` into
+  /// the already-constructed (empty) `fresh` according to fresh's
+  /// partitioner - which is what lets the same code serve plain N -> M
+  /// reshard (hash routing) and weighted rebalance (table routing). False
+  /// when the source is not a valid disjoint partition.
+  template <typename Key>
+  [[nodiscard]] static bool transport(const sharded_memento<Key>& old,
+                                      sharded_memento<Key>& fresh) {
+    const auto& ref = old.shard(0);
     const std::size_t m = fresh.num_shards();
     const shard_partitioner<Key>& owner = fresh.partitioner();
     const std::size_t k_old = ref.counters();
@@ -134,13 +187,13 @@ class snapshot_builder {
 
     for (std::size_t s = 0; s < m; ++s) {
       auto& dst = fresh.shards_[s];
-      if (!load_space_saving(dst.y_, counters[s], k_new)) return std::nullopt;
+      if (!load_space_saving(dst.y_, counters[s], k_new)) return false;
       for (const auto& [key, b] : overflow[s]) {
         // Disjoint old shards can never contribute the same key twice; a
         // duplicate means the snapshot is not a valid partition (e.g. a
         // crafted buffer repeating one shard section). Reject, never
         // double-merge.
-        if (dst.overflows_.contains(key)) return std::nullopt;
+        if (dst.overflows_.contains(key)) return false;
         dst.overflows_.find_or_emplace(key, 0) += b;
       }
       const std::size_t ring = dst.blocks_.size();  // k_new + 1
@@ -152,19 +205,9 @@ class snapshot_builder {
       dst.until_block_end_ = dst.block_len_ - clock % dst.block_len_;
       dst.stream_length_ = sum_stream / m;
     }
-    return fresh;
+    return true;
   }
 
-  /// Snapshot-bytes overload: restore the old frontend, then reshard it.
-  template <typename Key>
-  [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(
-      std::span<const std::uint8_t> snapshot_bytes, const shard_config& config) {
-    auto old = snapshot::restore<sharded_memento<Key>>(snapshot_bytes);
-    if (!old) return std::nullopt;
-    return reshard(*old, config);
-  }
-
- private:
   /// Maps an old-ring age onto the new ring, rounding to nearest so carried
   /// overflows expire as close as possible to their original schedule.
   [[nodiscard]] static std::uint32_t scale_age(std::size_t age, std::size_t k_old,

@@ -83,6 +83,18 @@ TEST(ShardPartitioner, DeterministicInRangeAndRoughlyUniform) {
   EXPECT_THROW(shard_partitioner<std::uint64_t>(0), std::invalid_argument);
 }
 
+TEST(ShardPartitioner, UniformTableModeAgreesWithHashMode) {
+  // The two-level router's uniform table must reproduce HASH-mode routing
+  // bit-for-bit (nested-floor identity; the full differential lives in
+  // tests/rebalance_test.cpp).
+  shard_partitioner<std::uint64_t> hash_mode(4);
+  shard_partitioner<std::uint64_t> table_mode(4, shard_table::uniform(4));
+  for (std::uint64_t x = 0; x < 64000; ++x) {
+    ASSERT_EQ(hash_mode(x), table_mode(x)) << "key " << x;
+    ASSERT_LT(table_mode.bucket_of(x), table_mode.buckets());
+  }
+}
+
 TEST(ShardPartitioner, DecorrelatedFromFlatHashBuckets) {
   // Keys colliding into one shard must not collide inside flat_hash too:
   // among keys owned by shard 0 of 4, the low avalanche bits (which

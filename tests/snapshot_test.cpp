@@ -522,7 +522,9 @@ TEST(Reshard, RejectsDuplicatedShardSections) {
   wire::writer w;
   w.u32(snapshot::kMagic);
   const auto tok = w.begin_section(sharded::kWireTag, sharded::kWireVersion);
-  w.varint(2);
+  w.varint(2);       // shard count
+  w.u64(cfg.seed);   // base seed (v2)
+  w.varint(0);       // no bucket table (v2): HASH-mode routing
   front.shard(0).save(w);
   front.shard(0).save(w);  // same shard twice: same keys twice
   w.end_section(tok);

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Check that every intra-repo markdown link in docs/ and README.md resolves.
+
+Scans `[text](target)` links, skips external schemes (http/https/mailto),
+resolves relative targets against the linking file's directory, and requires
+the target file to exist inside the repository. For `#anchor` fragments
+pointing into a markdown file, the anchor must match a heading in that file
+(GitHub slug rules: lowercase, punctuation stripped, spaces -> hyphens).
+
+Run from anywhere: the repo root is derived from this script's location.
+CI runs it in the `docs` job; locally: `python3 tools/check_docs_links.py`.
+Exit status 0 = all links resolve, 1 = failures (each printed).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — target may not contain spaces or closing parens (none of
+# our links do); images (![alt](src)) are matched the same way on purpose.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop non-word chars, spaces->hyphens."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)          # inline markup
+    text = re.sub(r"[^\w\- ]", "", text)       # punctuation
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_file: Path) -> set[str]:
+    anchors = set()
+    for line in md_file.read_text(encoding="utf-8").splitlines():
+        if line.startswith("#"):
+            anchors.add(slugify(line.lstrip("#")))
+    return anchors
+
+
+def check_file(md_file: Path) -> list[str]:
+    failures = []
+    text = md_file.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # same-file anchor
+            resolved = md_file
+        else:
+            resolved = (md_file.parent / path_part).resolve()
+        rel = md_file.relative_to(REPO)
+        if not resolved.exists():
+            failures.append(f"{rel}: broken link -> {target}")
+            continue
+        if not resolved.is_relative_to(REPO):
+            failures.append(f"{rel}: link escapes the repository -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                failures.append(f"{rel}: missing anchor -> {target}")
+    return failures
+
+
+def main() -> int:
+    files = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+    missing = [f for f in files if not f.exists()]
+    if missing or not (REPO / "docs").is_dir():
+        print(f"check_docs_links: docs tree incomplete: {missing}", file=sys.stderr)
+        return 1
+    failures = []
+    checked = 0
+    for f in files:
+        failures.extend(check_file(f))
+        checked += 1
+    for failure in failures:
+        print(f"check_docs_links: {failure}", file=sys.stderr)
+    print(f"check_docs_links: {checked} files, {len(failures)} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
