@@ -1,0 +1,283 @@
+// memento_appliance: the run-to-completion pipeline as a deployable-shaped
+// binary. Materializes a trace (generated preset, text, or pcap - the file
+// reader sniffs), RSS-steers it into per-core slices with the pipeline's own
+// partitioner, then runs every core's ingest -> parse -> update -> detect ->
+// mitigate chain for a wall-clock duration and reports what an operator
+// would ask of an appliance: per-core and aggregate Mpps, per-burst service
+// latency percentiles (p50/p99/p99.9), drop accounting, active mitigation
+// rules, and how many times the trace looped (the soak's honesty number).
+//
+// Two drive modes (src/pipeline/pipeline.hpp):
+//   * pull (default, the soak configuration): each core pulls bursts
+//     straight from its pre-steered packet_ring - no producer on the
+//     measured path, so the numbers are the per-core stage chain itself;
+//   * push: a producer thread feeds the per-core RX rings under an explicit
+//     backpressure policy (block = lossless, drop = tail-drop + count),
+//     which is the configuration the CI soak-smoke asserts on: block must
+//     finish with zero drops.
+//
+// `--json PATH` writes the {"appliance": ...} document summarize.py folds
+// into BENCH_fig5.json with --appliance. Bench preset: --duration 60.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "trace/trace_generator.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace memento;
+
+struct options {
+  std::size_t cores = 4;
+  double duration_s = 60.0;
+  std::string trace = "backbone";  ///< preset name or file path
+  std::size_t packets = 4'000'000;
+  std::uint64_t window = 1u << 20;
+  std::size_t counters = 4096;
+  std::uint64_t seed = 1;
+  std::string mode = "pull";
+  backpressure_policy policy = backpressure_policy::block;
+  std::size_t burst = 256;
+  std::size_t ring = 1u << 14;
+  std::uint64_t detect_stride = 1u << 16;  ///< per-core packets between sweeps
+  bool enforce = false;
+  std::string json_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--cores N] [--duration SECONDS] [--trace backbone|datacenter|edge|FILE]\n"
+      "          [--packets N] [--window W] [--counters C] [--seed S]\n"
+      "          [--mode pull|push] [--policy block|drop] [--burst N] [--ring N]\n"
+      "          [--detect-stride N (0 = detection off)] [--enforce] [--json PATH]\n",
+      argv0);
+  std::exit(2);
+}
+
+options parse(int argc, char** argv) {
+  options opt;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--cores")) {
+      opt.cores = std::strtoull(need(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--duration")) {
+      opt.duration_s = std::strtod(need(i), nullptr);
+    } else if (!std::strcmp(a, "--trace")) {
+      opt.trace = need(i);
+    } else if (!std::strcmp(a, "--packets")) {
+      opt.packets = std::strtoull(need(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--window")) {
+      opt.window = std::strtoull(need(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--counters")) {
+      opt.counters = std::strtoull(need(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--seed")) {
+      opt.seed = std::strtoull(need(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--mode")) {
+      opt.mode = need(i);
+    } else if (!std::strcmp(a, "--policy")) {
+      const std::string p = need(i);
+      if (p == "block") {
+        opt.policy = backpressure_policy::block;
+      } else if (p == "drop") {
+        opt.policy = backpressure_policy::drop;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (!std::strcmp(a, "--burst")) {
+      opt.burst = std::strtoull(need(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--ring")) {
+      opt.ring = std::strtoull(need(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--detect-stride")) {
+      opt.detect_stride = std::strtoull(need(i), nullptr, 10);
+    } else if (!std::strcmp(a, "--enforce")) {
+      opt.enforce = true;
+    } else if (!std::strcmp(a, "--json")) {
+      opt.json_path = need(i);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.cores == 0 || opt.burst == 0 || opt.duration_s <= 0.0 || opt.mode.empty()) {
+    usage(argv[0]);
+  }
+  if (opt.mode != "pull" && opt.mode != "push") usage(argv[0]);
+  return opt;
+}
+
+std::vector<packet> load_trace(const options& opt) {
+  if (opt.trace == "backbone" || opt.trace == "datacenter" || opt.trace == "edge") {
+    const trace_kind kind = opt.trace == "backbone"     ? trace_kind::backbone
+                            : opt.trace == "datacenter" ? trace_kind::datacenter
+                                                        : trace_kind::edge;
+    return make_trace(kind, opt.packets, opt.seed);
+  }
+  auto result = read_trace_file(opt.trace);
+  if (!result.ok()) {
+    std::fprintf(stderr, "memento_appliance: %s\n", result.error.c_str());
+    std::exit(1);
+  }
+  if (result.packets.empty()) {
+    std::fprintf(stderr, "memento_appliance: %s holds no usable packets\n", opt.trace.c_str());
+    std::exit(1);
+  }
+  return std::move(result.packets);
+}
+
+/// Push mode: one producer (this thread) round-robins pre-steered bursts
+/// into the RX rings until the deadline, then drains. Returns wall seconds.
+double run_push(pipeline<>& pipe, std::vector<packet_ring>& sources, const options& opt) {
+  pipe.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(opt.duration_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (std::size_t c = 0; c < sources.size(); ++c) {
+      const auto burst = sources[c].next_burst(opt.burst);
+      if (!burst.empty()) pipe.offer(c, burst);
+    }
+  }
+  pipe.drain();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  pipe.stop();
+  return elapsed;
+}
+
+void emit_json(const pipeline<>& pipe, const std::vector<packet_ring>& sources,
+               const options& opt, double elapsed) {
+  FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "memento_appliance: cannot write %s\n", opt.json_path.c_str());
+    std::exit(1);
+  }
+  std::uint64_t laps = 0;
+  for (const auto& s : sources) laps += s.laps();
+  const auto total = pipe.report();
+  std::fprintf(f, "{\n  \"appliance\": {\n");
+  std::fprintf(f,
+               "    \"config\": {\"cores\": %zu, \"mode\": \"%s\", \"policy\": \"%s\", "
+               "\"trace\": \"%s\", \"packets\": %zu, \"window\": %llu, \"counters\": %zu, "
+               "\"detect_stride\": %llu, \"enforce\": %s, \"burst\": %zu, "
+               "\"duration_s\": %g},\n",
+               opt.cores, opt.mode.c_str(), backpressure_policy_name(opt.policy),
+               opt.trace.c_str(), opt.packets, static_cast<unsigned long long>(opt.window),
+               opt.counters, static_cast<unsigned long long>(opt.detect_stride),
+               opt.enforce ? "true" : "false", opt.burst, opt.duration_s);
+  std::fprintf(f, "    \"elapsed_s\": %.3f,\n", elapsed);
+  std::fprintf(f,
+               "    \"total\": {\"packets\": %llu, \"mpps\": %.3f, \"drops\": %llu, "
+               "\"mitigated\": %llu, \"active_rules\": %zu, \"trace_laps\": %llu, "
+               "\"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu, \"mean_ns\": %.1f},\n",
+               static_cast<unsigned long long>(total.ingested),
+               static_cast<double>(total.ingested) / elapsed / 1e6,
+               static_cast<unsigned long long>(total.drops),
+               static_cast<unsigned long long>(total.mitigated), total.active_rules,
+               static_cast<unsigned long long>(laps),
+               static_cast<unsigned long long>(total.latency.p50()),
+               static_cast<unsigned long long>(total.latency.p99()),
+               static_cast<unsigned long long>(total.latency.p999()), total.latency.mean());
+  std::fprintf(f, "    \"cores\": [\n");
+  for (std::size_t c = 0; c < pipe.cores(); ++c) {
+    const auto r = pipe.report(c);
+    std::fprintf(f,
+                 "      {\"core\": %zu, \"packets\": %llu, \"mpps\": %.3f, \"drops\": %llu, "
+                 "\"occupancy_hwm\": %llu, \"mitigated\": %llu, \"detect_sweeps\": %llu, "
+                 "\"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu}%s\n",
+                 c, static_cast<unsigned long long>(r.ingested),
+                 static_cast<double>(r.ingested) / elapsed / 1e6,
+                 static_cast<unsigned long long>(r.rx.drops),
+                 static_cast<unsigned long long>(r.rx.occupancy_hwm),
+                 static_cast<unsigned long long>(r.mitigated),
+                 static_cast<unsigned long long>(r.detect_sweeps),
+                 static_cast<unsigned long long>(r.latency.p50()),
+                 static_cast<unsigned long long>(r.latency.p99()),
+                 static_cast<unsigned long long>(r.latency.p999()),
+                 c + 1 < pipe.cores() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const options opt = parse(argc, argv);
+
+  pipeline_config cfg;
+  cfg.sharding.window_size = opt.window;
+  cfg.sharding.counters = opt.counters;
+  cfg.sharding.seed = opt.seed;
+  cfg.sharding.shards = opt.cores;
+  cfg.ring_capacity = opt.ring;
+  cfg.policy = opt.policy;
+  cfg.detect_stride = opt.detect_stride;
+  cfg.enforce = opt.enforce;
+  pipeline<> pipe(cfg);
+
+  std::printf("memento_appliance: loading trace '%s' (%zu packets requested)...\n",
+              opt.trace.c_str(), opt.packets);
+  const std::vector<packet> trace = load_trace(opt);
+
+  // RSS: steer once, up front, with the pipeline's own partitioner - core
+  // c's slice is exactly shard c's keyspace, so replay is differentially
+  // identical to frontend ingest of the same trace.
+  auto per_core = rss_steer(std::span<const packet>(trace), opt.cores,
+                            [&](const packet& p) { return pipe.core_of(p); });
+  std::vector<packet_ring> sources;
+  sources.reserve(opt.cores);
+  for (auto& slice : per_core) sources.emplace_back(std::move(slice));
+
+  std::printf("memento_appliance: %zu cores, mode=%s, policy=%s, soaking %.0fs...\n", opt.cores,
+              opt.mode.c_str(), backpressure_policy_name(opt.policy), opt.duration_s);
+  const double elapsed = opt.mode == "push"
+                             ? run_push(pipe, sources, opt)
+                             : pipe.run_pull(std::span<packet_ring>(sources), opt.duration_s,
+                                             opt.burst);
+
+  const auto total = pipe.report();
+  std::uint64_t laps = 0;
+  for (const auto& s : sources) laps += s.laps();
+
+  console_table table({"core", "packets", "mpps", "drops", "occ hwm", "sweeps", "p50 ns",
+                       "p99 ns", "p99.9 ns"});
+  table.print_header();
+  for (std::size_t c = 0; c < pipe.cores(); ++c) {
+    const auto r = pipe.report(c);
+    table.cell(static_cast<long long>(c))
+        .cell(static_cast<long long>(r.ingested))
+        .cell(static_cast<double>(r.ingested) / elapsed / 1e6, 3)
+        .cell(static_cast<long long>(r.rx.drops))
+        .cell(static_cast<long long>(r.rx.occupancy_hwm))
+        .cell(static_cast<long long>(r.detect_sweeps))
+        .cell(static_cast<long long>(r.latency.p50()))
+        .cell(static_cast<long long>(r.latency.p99()))
+        .cell(static_cast<long long>(r.latency.p999()));
+    table.end_row();
+  }
+  std::printf(
+      "total: %.3f Mpps over %.1fs (%llu packets, %llu dropped, %llu mitigated, "
+      "%zu active rules, %llu trace laps)\n",
+      static_cast<double>(total.ingested) / elapsed / 1e6, elapsed,
+      static_cast<unsigned long long>(total.ingested),
+      static_cast<unsigned long long>(total.drops),
+      static_cast<unsigned long long>(total.mitigated), total.active_rules,
+      static_cast<unsigned long long>(laps));
+  std::printf("burst latency: p50 %llu ns, p99 %llu ns, p99.9 %llu ns, mean %.1f ns\n",
+              static_cast<unsigned long long>(total.latency.p50()),
+              static_cast<unsigned long long>(total.latency.p99()),
+              static_cast<unsigned long long>(total.latency.p999()), total.latency.mean());
+
+  if (!opt.json_path.empty()) emit_json(pipe, sources, opt, elapsed);
+  return 0;
+}

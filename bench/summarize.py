@@ -16,7 +16,8 @@ summary control channels) into a `netwide_bytes` section of the artifact.
 `--rebalance` folds a `fig5/hh_speed_rebalanced` measurement (raw Google
 Benchmark JSON) into the `rebalance` section without touching the other
 sections; the same section is also produced directly when the main input
-contains `_rebalanced` rows.
+contains `_rebalanced` rows. `--appliance` folds a memento_appliance --json
+soak report into the `appliance` section the same way.
 
 The reducer keeps one record per benchmark config (name, label, Mpps) and,
 whenever a family has both a scalar and a `_batch` variant with the same
@@ -193,6 +194,11 @@ def main() -> int:
         default=None,
         help="fig5 raw JSON with hh_speed_rebalanced rows to fold in as the `rebalance` section",
     )
+    ap.add_argument(
+        "--appliance",
+        default=None,
+        help="memento_appliance --json output to fold in as the `appliance` section",
+    )
     args = ap.parse_args()
 
     with open(args.input, encoding="utf-8") as f:
@@ -211,6 +217,13 @@ def main() -> int:
             sys.stderr.write("summarize.py: --rebalance input has no _rebalanced rows\n")
             return 1
         summary["rebalance"] = rows
+    if args.appliance:
+        with open(args.appliance, encoding="utf-8") as f:
+            doc = json.load(f)
+        if "appliance" not in doc:
+            sys.stderr.write("summarize.py: --appliance input has no appliance section\n")
+            return 1
+        summary["appliance"] = doc["appliance"]
     text = json.dumps(summary, indent=2) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:

@@ -1,0 +1,78 @@
+// Explicit backpressure for the batched ingest rings: what happens when a
+// producer meets a full ring, stated as policy instead of buried in a loop.
+//
+//   * block - lossless: the producer waits (idle-progressive backoff) until
+//     the consumer frees slots. This is the default everywhere, because the
+//     sketch's guarantees are about the stream it SAW; silently losing
+//     packets would skew every window estimate. Throughput degrades to the
+//     slowest consumer, latency is bounded by ring capacity.
+//   * drop - lossy tail-drop, the NIC discipline: what fits now is enqueued,
+//     the remainder of the burst is counted and discarded. Throughput stays
+//     at line rate, accuracy degrades measurably (the drop counter is the
+//     estimate-error budget). For deployments that prefer stale-but-timely
+//     answers over backpressure rippling upstream.
+//
+// Every producer keeps per-ring `ring_stats` - packets enqueued, packets
+// dropped (each offered packet is counted exactly once, as enqueued or as
+// dropped), and the occupancy high-water mark (monotone; sampled after each
+// push from the producer side, where tail_ is exact). The counters are plain
+// u64s owned by the producer thread; consumers never touch them, so reading
+// them is only defined from the producing side (or after a drain barrier) -
+// the same ownership discipline the rings themselves rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "shard/spsc_queue.hpp"
+#include "util/backoff.hpp"
+
+namespace memento {
+
+enum class backpressure_policy : std::uint8_t {
+  block,  ///< lossless: wait for ring space (default)
+  drop,   ///< lossy: tail-drop what does not fit now
+};
+
+[[nodiscard]] constexpr const char* backpressure_policy_name(backpressure_policy p) noexcept {
+  return p == backpressure_policy::block ? "block" : "drop";
+}
+
+/// Producer-side accounting for one ring. Invariants (pinned by tests):
+/// enqueued + drops == total packets offered; drops == 0 under block;
+/// occupancy_hwm is monotone non-decreasing and never exceeds capacity.
+struct ring_stats {
+  std::uint64_t enqueued = 0;       ///< accepted into the ring
+  std::uint64_t drops = 0;          ///< discarded by the drop policy
+  std::uint64_t occupancy_hwm = 0;  ///< max ring occupancy observed at push
+
+  void note_occupancy(std::size_t occupancy) noexcept {
+    if (occupancy > occupancy_hwm) occupancy_hwm = occupancy;
+  }
+};
+
+/// Offers a burst to a ring under `policy`. Returns how many items were
+/// enqueued: always n under block (may wait), <= n under drop (never
+/// waits; the shortfall is counted in stats.drops).
+template <typename T>
+std::size_t offer_burst(spsc_ring<T>& ring, const T* xs, std::size_t n,
+                        backpressure_policy policy, ring_stats& stats, idle_backoff& backoff) {
+  std::size_t accepted = 0;
+  for (;;) {
+    const std::size_t pushed = ring.try_push(xs + accepted, n - accepted);
+    accepted += pushed;
+    stats.note_occupancy(ring.approx_size());
+    if (accepted == n || policy == backpressure_policy::drop) break;
+    if (pushed > 0) {
+      backoff.reset();  // the consumer is draining: stay hot
+    } else {
+      backoff.idle();
+    }
+  }
+  backoff.reset();
+  stats.enqueued += accepted;
+  stats.drops += n - accepted;
+  return accepted;
+}
+
+}  // namespace memento

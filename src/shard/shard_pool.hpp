@@ -28,9 +28,19 @@
 // so each shard consumes its owned subsequence in order; only the burst
 // boundaries differ, which the batch kernel guarantees is unobservable.
 //
-// Backoff: an empty worker spins briefly, then yields, then parks in
-// exponentially growing sleeps (capped at 128us), so idle shards cost ~0 CPU
-// and the pool degrades gracefully when threads exceed cores.
+// Backpressure: full rings follow an explicit policy (shard/backpressure.hpp).
+// The default is BLOCK - lossless, the producer waits with idle-progressive
+// backoff, which is what the window guarantees require. DROP tail-drops the
+// part of a burst that does not fit and counts it, the NIC discipline for
+// deployments that prefer timeliness to completeness. Either way the pool
+// keeps per-shard ring_stats (enqueued / drops / occupancy high-water mark),
+// readable from the producer thread via ingest_stats().
+//
+// Backoff: all busy-poll loops (idle workers, the blocked producer, drain())
+// share util/backoff.hpp's idle-progressive ladder - spin, then PAUSE, then
+// yield, then exponential sleeps capped at 128us - so idle shards cost ~0
+// CPU over a minutes-long soak and the pool degrades gracefully when threads
+// exceed cores.
 //
 // Rebalancing: rebalance(policy) quiesces the rings (drain barrier) and
 // swaps the frontend onto a new bucket -> shard table - the workers pick up
@@ -40,15 +50,16 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "shard/backpressure.hpp"
 #include "shard/sharded_memento.hpp"
 #include "shard/spsc_queue.hpp"
+#include "util/backoff.hpp"
 
 namespace memento {
 
@@ -60,8 +71,10 @@ class sharded_memento_pool {
 
   /// Spawns config.shards workers. @param ring_capacity per-shard ring slots
   /// (rounded up to a power of two); 2^15 keys = 256 KiB per shard default.
-  explicit sharded_memento_pool(const shard_config& config, std::size_t ring_capacity = 1u << 15)
-      : core_(config), scratch_(config.shards) {
+  /// @param policy what a full ring does to the producer (see file comment).
+  explicit sharded_memento_pool(const shard_config& config, std::size_t ring_capacity = 1u << 15,
+                                backpressure_policy policy = backpressure_policy::block)
+      : core_(config), scratch_(config.shards), stats_(config.shards), policy_(policy) {
     rings_.reserve(config.shards);
     for (std::size_t s = 0; s < config.shards; ++s) {
       rings_.push_back(std::make_unique<spsc_ring<Key>>(ring_capacity));
@@ -90,13 +103,22 @@ class sharded_memento_pool {
   sharded_memento_pool& operator=(const sharded_memento_pool&) = delete;
 
   /// Partitions a burst and enqueues each shard's keys in arrival order.
-  /// Blocks (yielding) while rings are full - backpressure, not drops: the
-  /// sketch's guarantees are about the stream it saw, so the ingest path
-  /// must be lossless for the window semantics to mean anything. Full rings
-  /// are revisited round-robin rather than head-of-line: a slow shard must
-  /// not keep the other shards' already-partitioned keys undelivered.
+  /// Under the (default) BLOCK policy full rings are revisited round-robin
+  /// rather than head-of-line - a slow shard must not keep the other shards'
+  /// already-partitioned keys undelivered - and the producer escalates the
+  /// idle-backoff ladder only when NO ring accepts anything. Under DROP each
+  /// shard gets one offer and the shortfall is counted in its ring_stats.
   void ingest(const Key* xs, std::size_t n) {
     partition_into(scratch_, core_.partitioner(), xs, n);
+    if (policy_ == backpressure_policy::drop) {
+      for (std::size_t s = 0; s < rings_.size(); ++s) {
+        if (!scratch_[s].empty()) {
+          offer_burst(*rings_[s], scratch_[s].data(), scratch_[s].size(),
+                      backpressure_policy::drop, stats_[s], ingest_backoff_);
+        }
+      }
+      return;
+    }
     offsets_.assign(rings_.size(), 0);
     std::size_t remaining = 0;
     for (const auto& buf : scratch_) remaining += buf.size();
@@ -109,10 +131,17 @@ class sharded_memento_pool {
             rings_[s]->try_push(scratch_[s].data() + offsets_[s], left);
         offsets_[s] += pushed;
         remaining -= pushed;
+        stats_[s].enqueued += pushed;
+        stats_[s].note_occupancy(rings_[s]->approx_size());
         if (pushed > 0) progress = true;
       }
-      if (!progress) std::this_thread::yield();
+      if (progress) {
+        ingest_backoff_.reset();
+      } else {
+        ingest_backoff_.idle();
+      }
     }
+    ingest_backoff_.reset();
   }
 
   void ingest(std::span<const Key> xs) { ingest(xs.data(), xs.size()); }
@@ -121,8 +150,10 @@ class sharded_memento_pool {
   /// drain() returns (and until the next ingest) the calling thread may read
   /// the frontend - including through the passthroughs below.
   void drain() const {
+    idle_backoff backoff;
     for (const auto& ring : rings_) {
-      while (!ring->drained()) std::this_thread::yield();
+      while (!ring->drained()) backoff.idle();
+      backoff.reset();
     }
   }
 
@@ -178,20 +209,38 @@ class sharded_memento_pool {
 
   [[nodiscard]] std::size_t num_shards() const noexcept { return core_.num_shards(); }
 
+  // --- backpressure accounting ---------------------------------------------
+
+  [[nodiscard]] backpressure_policy policy() const noexcept { return policy_; }
+
+  /// Shard s's producer-side ring accounting (enqueued / drops / occupancy
+  /// high-water mark). Owned by the producer thread: read it from there (or
+  /// after a drain barrier), like every other producer-side structure here.
+  [[nodiscard]] const ring_stats& ingest_stats(std::size_t s) const noexcept {
+    return stats_[s];
+  }
+
+  /// Total packets tail-dropped across shards (0 under the block policy).
+  [[nodiscard]] std::uint64_t total_drops() const noexcept {
+    std::uint64_t d = 0;
+    for (const auto& st : stats_) d += st.drops;
+    return d;
+  }
+
  private:
   void worker_loop(std::size_t s) {
     spsc_ring<Key>& ring = *rings_[s];
-    std::uint32_t idle = 0;
+    idle_backoff backoff;
     for (;;) {
       const auto [data, n] = ring.front_span();
       if (n == 0) {
         // Check stop only when empty: enqueued work is always finished, so
         // the destructor doubles as a drain.
         if (stop_.load(std::memory_order_acquire)) return;
-        backoff(idle++);
+        backoff.idle();
         continue;
       }
-      idle = 0;
+      backoff.reset();
       // Resolve the shard reference AFTER observing data (acquire): the
       // producer may have swapped core_ during a rebalance() while this
       // ring was drained, and the release-push of the next burst is what
@@ -202,21 +251,13 @@ class sharded_memento_pool {
     }
   }
 
-  static void backoff(std::uint32_t idle) {
-    if (idle < 16) {
-      // brief spin: the producer is usually mid-burst
-    } else if (idle < 64) {
-      std::this_thread::yield();
-    } else {
-      const std::uint32_t exp = idle - 64 < 7 ? idle - 64 : 7;
-      std::this_thread::sleep_for(std::chrono::microseconds(1u << exp));  // caps at 128us
-    }
-  }
-
   frontend_type core_;
   std::vector<std::unique_ptr<spsc_ring<Key>>> rings_;
   std::vector<std::vector<Key>> scratch_;  ///< producer-side burst partitions
   std::vector<std::size_t> offsets_;       ///< per-shard delivered prefix of scratch_
+  std::vector<ring_stats> stats_;          ///< per-shard producer-side accounting
+  backpressure_policy policy_ = backpressure_policy::block;
+  idle_backoff ingest_backoff_;            ///< producer's full-ring wait ladder
   std::atomic<bool> stop_{false};
   std::vector<std::thread> workers_;
 };

@@ -100,6 +100,14 @@ class spsc_ring {
     return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
   }
 
+  /// Instantaneous occupancy estimate (relaxed loads; exact from the
+  /// producer thread, which owns tail_ - the occupancy/high-water counters
+  /// the backpressure layer keeps are producer-side for that reason).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
+                                    head_.load(std::memory_order_relaxed));
+  }
+
   [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
 
  private:

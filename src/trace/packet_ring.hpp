@@ -1,0 +1,93 @@
+// Zero-copy batched packet-ring reader: the appliance's stand-in for a NIC
+// RX queue.
+//
+// A materialized trace (generated, text, or pcap - all land in a contiguous
+// std::vector<packet>) is treated as a ring: next_burst() hands out spans
+// *into the buffer* - no packet is ever copied on the hot path, mirroring
+// how a real fast path parses frames in place in DMA buffers - and wraps to
+// the start when the trace is exhausted, so a fixed-size trace can feed a
+// soak of any duration. Bursts never straddle the wrap (the tail burst is
+// simply shorter), keeping every span contiguous for the batch kernel.
+//
+// rss_steer() is the receive-side-scaling emulation: it partitions a trace
+// by flow key into per-core vectors ONCE, up front - the moral equivalent of
+// the NIC steering flows to RX queues by hashing the 5-tuple in hardware -
+// so the per-core run-to-completion loops (src/pipeline/) pay no per-packet
+// routing on the measured path, exactly like an appliance behind RSS. The
+// hash is the shard_partitioner, so core c's ring contains precisely the
+// packets whose keys sharded_memento would route to shard c: pre-steered
+// replay is differentially bit-identical to frontend ingest of the same
+// trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace memento {
+
+class packet_ring {
+ public:
+  explicit packet_ring(std::vector<packet> packets) : packets_(std::move(packets)) {}
+
+  /// The next burst of up to `max_n` packets as a zero-copy span into the
+  /// ring. Wraps at the end (the wrapping burst is truncated, never split).
+  /// Empty rings yield empty spans.
+  [[nodiscard]] std::span<const packet> next_burst(std::size_t max_n) noexcept {
+    const std::size_t size = packets_.size();
+    if (size == 0 || max_n == 0) return {};
+    const std::size_t run = size - at_;
+    const std::size_t take = max_n < run ? max_n : run;
+    const std::span<const packet> burst(packets_.data() + at_, take);
+    at_ += take;
+    if (at_ == size) {
+      at_ = 0;
+      ++laps_;
+    }
+    offered_ += take;
+    return burst;
+  }
+
+  void rewind() noexcept {
+    at_ = 0;
+    offered_ = 0;
+    laps_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return packets_.size(); }
+  [[nodiscard]] std::uint64_t offered() const noexcept { return offered_; }
+  /// Completed passes over the trace - a soak report's "how synthetic was
+  /// this" honesty number (laps >> 1 means the window saw the trace loop).
+  [[nodiscard]] std::uint64_t laps() const noexcept { return laps_; }
+  [[nodiscard]] std::span<const packet> packets() const noexcept { return packets_; }
+
+ private:
+  std::vector<packet> packets_;
+  std::size_t at_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t laps_ = 0;
+};
+
+/// RSS emulation: split a trace into per-core packet vectors by flow key,
+/// preserving arrival order within each core. `shard_of` maps a packet's
+/// key to its owning core (pass the pipeline's partitioner composed with its
+/// key extractor); `cores` sizes the result.
+template <typename ShardOf>
+[[nodiscard]] std::vector<std::vector<packet>> rss_steer(std::span<const packet> trace,
+                                                         std::size_t cores,
+                                                         const ShardOf& shard_of) {
+  std::vector<std::vector<packet>> per_core(cores);
+  // Two passes: count then fill, so each core's vector is allocated exactly
+  // once even for multi-hundred-megabyte traces.
+  std::vector<std::size_t> counts(cores, 0);
+  for (const auto& p : trace) ++counts[shard_of(p)];
+  for (std::size_t c = 0; c < cores; ++c) per_core[c].reserve(counts[c]);
+  for (const auto& p : trace) per_core[shard_of(p)].push_back(p);
+  return per_core;
+}
+
+}  // namespace memento

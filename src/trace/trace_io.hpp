@@ -1,16 +1,31 @@
-// Trace persistence: a minimal text format so users can run the algorithms
-// on their own captures (e.g. exported from tcpdump/tshark) and so
-// experiments can be archived and replayed bit-exactly.
+// Trace persistence: a minimal text format plus a pcap reader, so users can
+// run the algorithms on their own captures and so experiments can be
+// archived and replayed bit-exactly.
 //
-// Format: one packet per line, "src,dst", each address either dotted-quad
-// ("181.7.20.6") or a raw unsigned 32-bit decimal. '#'-prefixed lines and
-// blank lines are ignored. Writing always emits dotted-quad.
+// Text format: one packet per line, "src,dst", each address either
+// dotted-quad ("181.7.20.6") or a raw unsigned 32-bit decimal. '#'-prefixed
+// lines and blank lines are ignored. Writing always emits dotted-quad.
+//
+// Pcap format: classic libpcap capture files (the tcpdump/tshark default)
+// are detected by magic number - both endiannesses and both the microsecond
+// (0xa1b2c3d4) and nanosecond (0xa1b23c4d) variants - and reduced to the
+// repository's packet model by extracting the IPv4 source/destination
+// addresses from each captured frame (Ethernet, optionally one 802.1Q VLAN
+// tag, or raw-IP linktype). Non-IPv4 records are skipped and counted like
+// malformed text lines; a *truncated* file (cut global header, record
+// header, or record body) is rejected with a clear error instead, because a
+// cut capture silently ends the stream early and every windowed result
+// downstream would be wrong. read_trace_file() sniffs the magic, so
+// captures and text traces run through the frontend and the appliance
+// through one entry point, unmodified.
 #pragma once
 
 #include <cctype>
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <optional>
 #include <ostream>
 #include <span>
@@ -78,7 +93,10 @@ namespace memento {
 
 struct trace_read_result {
   std::vector<packet> packets;
-  std::size_t malformed_lines = 0;  ///< skipped, never fatal
+  std::size_t malformed_lines = 0;  ///< skipped lines / non-IPv4 records, never fatal
+  std::string error;                ///< non-empty => the read was rejected (fatal)
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
 
 /// Reads a whole trace from a stream.
@@ -97,9 +115,213 @@ struct trace_read_result {
   return result;
 }
 
+// --- pcap ------------------------------------------------------------------
+
+inline constexpr std::uint32_t kPcapMagicMicros = 0xa1b2c3d4u;
+inline constexpr std::uint32_t kPcapMagicNanos = 0xa1b23c4du;
+inline constexpr std::uint32_t kPcapLinktypeEthernet = 1;
+inline constexpr std::uint32_t kPcapLinktypeRawIp = 101;
+
+[[nodiscard]] constexpr std::uint32_t pcap_bswap32(std::uint32_t v) noexcept {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) | (v << 24);
+}
+
+/// True when `magic` (read as a host-order u32 from the file's first four
+/// bytes) is any of the four pcap magics: micro/nanosecond timestamps in
+/// either byte order.
+[[nodiscard]] constexpr bool is_pcap_magic(std::uint32_t magic) noexcept {
+  return magic == kPcapMagicMicros || magic == kPcapMagicNanos ||
+         magic == pcap_bswap32(kPcapMagicMicros) || magic == pcap_bswap32(kPcapMagicNanos);
+}
+
+namespace detail {
+
+/// Little-endian u32 at `at` (bounds already checked by the caller),
+/// byte-swapped when the capture's endianness differs from ours.
+[[nodiscard]] inline std::uint32_t pcap_u32(const unsigned char* p, bool swap) noexcept {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16) |
+                          (static_cast<std::uint32_t>(p[3]) << 24);
+  return swap ? pcap_bswap32(v) : v;
+}
+
+/// Network-order (big-endian) u16/u32 inside a captured frame - frame
+/// contents are wire-order regardless of the capture file's endianness.
+[[nodiscard]] inline std::uint16_t net_u16(const unsigned char* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+[[nodiscard]] inline std::uint32_t net_u32(const unsigned char* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace detail
+
+/// Reads a classic pcap capture: magic/endianness detection, per-record
+/// headers, IPv4 source/destination extraction. Non-IPv4 or too-short
+/// *captured* records are skipped (counted in malformed_lines); a truncated
+/// FILE - global header, record header, or record body cut short - sets
+/// `error` and returns the packets parsed so far, because a silently
+/// shortened stream would skew every windowed result computed from it.
+[[nodiscard]] inline trace_read_result read_pcap(std::istream& in) {
+  trace_read_result result;
+  std::vector<unsigned char> bytes(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>{});
+  const unsigned char* data = bytes.data();
+  const std::size_t size = bytes.size();
+
+  if (size < 24) {
+    result.error = "pcap: truncated global header (" + std::to_string(size) + " of 24 bytes)";
+    return result;
+  }
+  const std::uint32_t raw_magic = detail::pcap_u32(data, false);
+  if (!is_pcap_magic(raw_magic)) {
+    result.error = "pcap: bad magic";
+    return result;
+  }
+  const bool swap = raw_magic != kPcapMagicMicros && raw_magic != kPcapMagicNanos;
+  const std::uint32_t linktype = detail::pcap_u32(data + 20, swap);
+  if (linktype != kPcapLinktypeEthernet && linktype != kPcapLinktypeRawIp) {
+    result.error = "pcap: unsupported linktype " + std::to_string(linktype) +
+                   " (need Ethernet=1 or raw IP=101)";
+    return result;
+  }
+
+  // Sanity cap on captured lengths: longer than any jumbo frame means the
+  // length field is corrupt, and trusting it would mis-frame every record
+  // after it.
+  constexpr std::uint32_t kMaxCapturedLen = 256 * 1024;
+
+  std::size_t at = 24;
+  while (at < size) {
+    if (size - at < 16) {
+      result.error = "pcap: truncated record header at offset " + std::to_string(at);
+      return result;
+    }
+    const std::uint32_t incl_len = detail::pcap_u32(data + at + 8, swap);
+    if (incl_len > kMaxCapturedLen) {
+      result.error = "pcap: corrupt captured length " + std::to_string(incl_len) +
+                     " at offset " + std::to_string(at);
+      return result;
+    }
+    if (size - at - 16 < incl_len) {
+      result.error = "pcap: truncated record body at offset " + std::to_string(at) +
+                     " (need " + std::to_string(incl_len) + " bytes, have " +
+                     std::to_string(size - at - 16) + ")";
+      return result;
+    }
+    const unsigned char* frame = data + at + 16;
+    at += 16 + incl_len;
+
+    // Locate the IPv4 header inside the captured frame.
+    std::size_t ip_off = 0;
+    if (linktype == kPcapLinktypeEthernet) {
+      if (incl_len < 14) {
+        ++result.malformed_lines;  // runt frame
+        continue;
+      }
+      std::uint16_t ethertype = detail::net_u16(frame + 12);
+      ip_off = 14;
+      if (ethertype == 0x8100 && incl_len >= 18) {  // one 802.1Q VLAN tag
+        ethertype = detail::net_u16(frame + 16);
+        ip_off = 18;
+      }
+      if (ethertype != 0x0800) {
+        ++result.malformed_lines;  // not IPv4 (ARP, IPv6, ...)
+        continue;
+      }
+    }
+    if (incl_len < ip_off + 20 || (frame[ip_off] >> 4) != 4) {
+      ++result.malformed_lines;  // IPv4 header not fully captured, or not v4
+      continue;
+    }
+    result.packets.push_back(packet{detail::net_u32(frame + ip_off + 12),
+                                    detail::net_u32(frame + ip_off + 16)});
+  }
+  return result;
+}
+
+/// Writes packets as a minimal microsecond little-endian Ethernet pcap
+/// (34-byte frames: zeroed MACs + a 20-byte IPv4 header carrying src/dst).
+/// Round-trips through read_pcap; also handy for feeding the appliance from
+/// synthetic traces via the capture path.
+inline void write_pcap(std::ostream& out, std::span<const packet> packets) {
+  const auto u16le = [&](std::uint16_t v) {
+    const char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+    out.write(b, 2);
+  };
+  const auto u32le = [&](std::uint32_t v) {
+    const char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+                       static_cast<char>((v >> 16) & 0xff), static_cast<char>(v >> 24)};
+    out.write(b, 4);
+  };
+  const auto u32net = [&](std::uint32_t v) { u32le(pcap_bswap32(v)); };
+  const auto u16net = [&](std::uint16_t v) {
+    out.put(static_cast<char>(v >> 8));
+    out.put(static_cast<char>(v & 0xff));
+  };
+
+  u32le(kPcapMagicMicros);
+  u16le(2);      // version major
+  u16le(4);      // version minor
+  u32le(0);      // thiszone
+  u32le(0);      // sigfigs
+  u32le(65535);  // snaplen
+  u32le(kPcapLinktypeEthernet);
+
+  std::uint32_t ts = 0;
+  for (const auto& p : packets) {
+    u32le(ts);  // one packet per second keeps timestamps monotone
+    u32le(0);
+    u32le(34);  // incl_len: 14 Ethernet + 20 IPv4
+    u32le(34);  // orig_len
+    for (int i = 0; i < 12; ++i) out.put('\0');  // dst/src MAC
+    u16net(0x0800);                              // ethertype: IPv4
+    out.put('\x45');                             // version 4, IHL 5
+    out.put('\0');                               // TOS
+    u16net(20);                                  // total length
+    u32le(0);                                    // id + flags/fragment
+    out.put('\x40');                             // TTL 64
+    out.put('\0');                               // protocol
+    u16net(0);                                   // checksum (unchecked on read)
+    u32net(p.src);
+    u32net(p.dst);
+    ++ts;
+  }
+}
+
+inline bool write_pcap_file(const std::string& path, std::span<const packet> packets) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_pcap(out, packets);
+  return static_cast<bool>(out);
+}
+
+/// Reads a trace file of either supported format: the first four bytes are
+/// sniffed for a pcap magic, everything else parses as the text format.
 [[nodiscard]] inline trace_read_result read_trace_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return {};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    trace_read_result result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  char head[4] = {0, 0, 0, 0};
+  in.read(head, 4);
+  const auto got = in.gcount();
+  in.clear();
+  in.seekg(0);
+  if (got == 4) {
+    const std::uint32_t magic = static_cast<std::uint32_t>(static_cast<unsigned char>(head[0])) |
+                                (static_cast<std::uint32_t>(static_cast<unsigned char>(head[1]))
+                                 << 8) |
+                                (static_cast<std::uint32_t>(static_cast<unsigned char>(head[2]))
+                                 << 16) |
+                                (static_cast<std::uint32_t>(static_cast<unsigned char>(head[3]))
+                                 << 24);
+    if (is_pcap_magic(magic)) return read_pcap(in);
+  }
   return read_trace(in);
 }
 

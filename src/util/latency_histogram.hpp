@@ -1,0 +1,123 @@
+// Fixed-memory log-bucketed latency histogram for the soak benches and the
+// pipeline's per-burst latency accounting.
+//
+// Recording a tail percentile over a minutes-long soak cannot keep every
+// sample (billions of bursts) and cannot sort online; the standard answer
+// (HdrHistogram-style) is logarithmic bucketing with linear sub-buckets:
+//
+//   * values below 16 get their own exact bucket;
+//   * every larger value lands in bucket (msb, top-4-bits-below-msb), i.e.
+//     16 linear sub-buckets per power of two, bounding the relative
+//     quantization error by 1/16 = 6.25% - far below run-to-run soak noise;
+//   * the whole table is 976 u64 counters (~7.6 KiB), allocation-free after
+//     construction, O(1) record, O(buckets) query.
+//
+// Histograms are mergeable (bucket-wise sum), so each pipeline core records
+// into its own instance with no synchronization and the appliance merges
+// after the join - the same per-core-then-merge discipline as the sketches.
+// min/max/sum ride along exactly, so mean and true extremes are not
+// quantized. percentile() returns the lower bound of the target bucket
+// (clamped to the exact observed [min, max]), making reported p50/p99/p99.9
+// deterministic for a given sample multiset.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace memento {
+
+class latency_histogram {
+ public:
+  /// Index granularity: 16 exact unit buckets, then 16 linear sub-buckets
+  /// per power of two up to 2^63 -> (64 - 4) * 16 + 16 = 976 buckets total.
+  static constexpr std::size_t kSubBits = 4;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;  // 16
+  static constexpr std::size_t kBuckets = (64 - kSubBits) * kSubBuckets + kSubBuckets;
+
+  /// Records one value (nanoseconds by convention; any u64 works). O(1).
+  void record(std::uint64_t value) noexcept {
+    counts_[bucket_of(value)] += 1;
+    ++count_;
+    sum_ += value;
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  /// Bucket-wise merge: the merged histogram answers exactly as if every
+  /// sample of `other` had been recorded here.
+  void merge(const latency_histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    if (other.count_ == 0) return;
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  /// The smallest recorded value v such that at least p * count() samples
+  /// are <= v's bucket (p in [0, 1]). Returns the target bucket's lower
+  /// bound clamped into the exact [min, max] observed, so percentile(0) ==
+  /// min() and percentile(1) == max(). 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept {
+    if (count_ == 0) return 0;
+    const double clamped = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    // ceil(p * count), floored at 1: the rank of the target sample.
+    auto rank = static_cast<std::uint64_t>(clamped * static_cast<double>(count_));
+    if (static_cast<double>(rank) < clamped * static_cast<double>(count_)) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        // Rank landed in the highest occupied bucket: report the exact
+        // maximum, so tail percentiles never under-read the worst sample
+        // (and percentile(1) == max() holds exactly, as documented).
+        if (seen == count_) return max_;
+        return std::clamp(bucket_floor(i), min_, max_);
+      }
+    }
+    return max_;  // unreachable when counts are consistent
+  }
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return percentile(0.50); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return percentile(0.99); }
+  [[nodiscard]] std::uint64_t p999() const noexcept { return percentile(0.999); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  void clear() noexcept { *this = latency_histogram{}; }
+
+  /// The bucket a value lands in - exposed for the unit tests that pin the
+  /// quantization contract (exact below 16, <= 1/16 relative error above).
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const auto msb = static_cast<std::size_t>(63 - std::countl_zero(v));
+    const auto sub = static_cast<std::size_t>((v >> (msb - kSubBits)) & (kSubBuckets - 1));
+    return (msb - (kSubBits - 1)) * kSubBuckets + sub;
+  }
+
+  /// Smallest value mapping to bucket i (the reported representative).
+  [[nodiscard]] static constexpr std::uint64_t bucket_floor(std::size_t i) noexcept {
+    if (i < kSubBuckets) return static_cast<std::uint64_t>(i);
+    const std::size_t msb = i / kSubBuckets + (kSubBits - 1);
+    const std::uint64_t sub = i % kSubBuckets;
+    return (std::uint64_t{1} << msb) | (sub << (msb - kSubBits));
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace memento

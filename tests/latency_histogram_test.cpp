@@ -1,0 +1,134 @@
+// latency_histogram suite (src/util/latency_histogram.hpp).
+//
+// The contract under test: fixed memory, O(1) record, values below 16 are
+// exact, everything else lands in a log bucket whose floor is within 1/16
+// relative error of the true value, percentiles are monotone in p and
+// clamped to [min, max], and merge() is bucket-exact (a merged histogram
+// answers exactly like one that saw both streams).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/latency_histogram.hpp"
+
+namespace memento {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsInert) {
+  latency_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  latency_histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  // Below 16 every value owns its own bucket: percentiles are exact order
+  // statistics (rank = ceil(p * n)).
+  EXPECT_EQ(h.percentile(0.5), 7u);
+  EXPECT_EQ(h.percentile(1.0), 15u);
+  EXPECT_EQ(h.percentile(0.0625), 0u);
+}
+
+TEST(LatencyHistogram, BucketFloorNeverAboveValueAndWithinSixteenth) {
+  // The static bucket maps are the whole accuracy story: check them
+  // directly across magnitudes.
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 20'000; ++i) {
+    const int bits = static_cast<int>(rng() % 63) + 1;
+    const std::uint64_t v = (rng() & ((std::uint64_t{1} << bits) - 1)) | 1u;
+    const std::size_t b = latency_histogram::bucket_of(v);
+    const std::uint64_t floor = latency_histogram::bucket_floor(b);
+    ASSERT_LE(floor, v);
+    // floor > v - v/16: the bucket width is 1/16 of the value's power of two.
+    ASSERT_GT(floor + (v >> 4) + 1, v) << "v=" << v << " floor=" << floor;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesTrackASortedOracleWithinRelativeError) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(8.0, 1.5);  // latency-shaped tail
+  latency_histogram h;
+  std::vector<std::uint64_t> oracle;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(rng)) + 1;
+    h.record(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  for (const double p : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank =
+        std::max<std::size_t>(1, static_cast<std::size_t>(p * oracle.size())) - 1;
+    const double exact = static_cast<double>(oracle[rank]);
+    const double est = static_cast<double>(h.percentile(p));
+    EXPECT_LE(est, exact * 1.0626) << "p=" << p;  // one bucket above at most
+    EXPECT_GE(est, exact * (1.0 - 1.0 / 16.0) - 1.0) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, PercentileIsMonotoneInP) {
+  std::mt19937_64 rng(19);
+  latency_histogram h;
+  for (int i = 0; i < 10'000; ++i) h.record(rng() % 1'000'000);
+  std::uint64_t prev = 0;
+  for (double p = 0.01; p <= 1.0; p += 0.01) {
+    const std::uint64_t v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedStream) {
+  std::mt19937_64 rng(23);
+  latency_histogram a, b, combined;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t v = rng() % (i % 2 ? 1'000u : 100'000'000u);
+    (i % 3 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (const double p : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.percentile(p), combined.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  latency_histogram a, empty;
+  for (std::uint64_t v : {5u, 500u, 50'000u}) a.record(v);
+  const auto p99_before = a.p99();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.p99(), p99_before);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_EQ(empty.min(), 5u);
+  EXPECT_EQ(empty.max(), 50'000u);
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  latency_histogram h;
+  h.record(123456);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  h.record(7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.p50(), 7u);
+}
+
+}  // namespace
+}  // namespace memento

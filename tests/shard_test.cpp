@@ -387,6 +387,71 @@ TEST(ShardedPool, InterleavedIngestAndQueryRounds) {
   }
 }
 
+TEST(ShardedPool, BlockPolicyIsLosslessAndAccountsOccupancy) {
+  shard_config cfg;
+  cfg.window_size = 8000;
+  cfg.counters = 32;
+  cfg.shards = 2;
+  const auto ids = skewed_ids(40000, 1.0, 71);
+
+  sharded_memento_pool<std::uint64_t> pool(cfg, /*ring_capacity=*/256,
+                                           backpressure_policy::block);
+  for (std::size_t i = 0; i < ids.size(); i += 2048) {
+    const std::size_t n = std::min<std::size_t>(2048, ids.size() - i);
+    pool.ingest(ids.data() + i, n);  // bursts far exceed the rings: must wait
+  }
+  pool.drain();
+  ASSERT_EQ(pool.policy(), backpressure_policy::block);
+  EXPECT_EQ(pool.total_drops(), 0u);
+  std::uint64_t enqueued = 0;
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    const auto& st = pool.ingest_stats(s);
+    EXPECT_EQ(st.drops, 0u);
+    EXPECT_LE(st.occupancy_hwm, 256u);
+    EXPECT_GT(st.occupancy_hwm, 0u);
+    enqueued += st.enqueued;
+  }
+  EXPECT_EQ(enqueued, ids.size());
+  EXPECT_EQ(pool.stream_length(), ids.size());
+}
+
+TEST(ShardedPool, DropPolicyCountsEveryKeyExactlyOnce) {
+  shard_config cfg;
+  cfg.window_size = 8000;
+  cfg.counters = 32;
+  cfg.shards = 2;
+  const auto ids = skewed_ids(200000, 1.0, 73);
+
+  sharded_memento_pool<std::uint64_t> pool(cfg, /*ring_capacity=*/64,
+                                           backpressure_policy::drop);
+  // One huge burst per shard guarantees overflow regardless of scheduling:
+  // a 64-slot ring cannot absorb ~100k keys in one offer.
+  pool.ingest(ids.data(), ids.size());
+  pool.drain();
+  std::uint64_t enqueued = 0, drops = 0;
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    enqueued += pool.ingest_stats(s).enqueued;
+    drops += pool.ingest_stats(s).drops;
+  }
+  EXPECT_EQ(enqueued + drops, ids.size());  // exactly once: enqueued xor dropped
+  EXPECT_GT(drops, 0u);
+  EXPECT_EQ(pool.total_drops(), drops);
+  // The sketch saw precisely the accepted prefix - drops never half-applied.
+  EXPECT_EQ(pool.stream_length(), enqueued);
+}
+
+TEST(SpscRing, ApproxSizeIsExactFromTheProducerThread) {
+  spsc_ring<std::uint64_t> ring(8);
+  EXPECT_EQ(ring.approx_size(), 0u);
+  const std::uint64_t xs[5] = {1, 2, 3, 4, 5};
+  ASSERT_EQ(ring.try_push(xs, 5), 5u);
+  EXPECT_EQ(ring.approx_size(), 5u);
+  const auto [data, n] = ring.front_span();
+  (void)data;
+  ring.pop(n);
+  EXPECT_EQ(ring.approx_size(), 0u);
+}
+
 // --- phase drift -----------------------------------------------------------
 
 TEST(ShardedMemento, PhaseDriftConcentratesAroundIdealShare) {

@@ -1,8 +1,13 @@
 // Tests for trace persistence: address parsing, line parsing, stream round
-// trips, and tolerance of malformed input.
+// trips, tolerance of malformed input, and the pcap reader's contract -
+// magic/endianness sniffing, IPv4 extraction from Ethernet/VLAN/raw-IP
+// frames, non-IPv4 records skipped, truncation always fatal with a clear
+// error.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 
 #include "trace/trace_generator.hpp"
 #include "trace/trace_io.hpp"
@@ -90,10 +95,183 @@ TEST(TraceIo, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(TraceIo, MissingFileYieldsEmpty) {
+TEST(TraceIo, MissingFileIsAnError) {
   const auto result = read_trace_file("/nonexistent/path/to/trace.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
   EXPECT_TRUE(result.packets.empty());
+}
+
+// --- pcap -------------------------------------------------------------------
+
+// Byte-level builders so the tests control endianness and truncation exactly.
+void le16(std::string& s, std::uint16_t v) {
+  s.push_back(static_cast<char>(v & 0xff));
+  s.push_back(static_cast<char>(v >> 8));
+}
+void le32(std::string& s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void be16(std::string& s, std::uint16_t v) {
+  s.push_back(static_cast<char>(v >> 8));
+  s.push_back(static_cast<char>(v & 0xff));
+}
+void be32(std::string& s, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::string pcap_header_le(std::uint32_t linktype, std::uint32_t magic = kPcapMagicMicros) {
+  std::string s;
+  le32(s, magic);
+  le16(s, 2);
+  le16(s, 4);
+  le32(s, 0);
+  le32(s, 0);
+  le32(s, 65535);
+  le32(s, linktype);
+  return s;
+}
+
+std::string ipv4_header(std::uint32_t src, std::uint32_t dst) {
+  std::string s;
+  s.push_back('\x45');  // version 4, IHL 5
+  s.push_back('\0');
+  be16(s, 20);
+  le32(s, 0);  // id + flags
+  s.push_back('\x40');  // TTL
+  s.push_back('\0');
+  be16(s, 0);  // checksum
+  be32(s, src);
+  be32(s, dst);
+  return s;
+}
+
+std::string ether_frame(std::uint16_t ethertype, const std::string& payload) {
+  std::string s(12, '\0');  // MACs
+  be16(s, ethertype);
+  return s + payload;
+}
+
+void append_record_le(std::string& s, const std::string& frame) {
+  le32(s, 0);  // ts_sec
+  le32(s, 0);  // ts_usec
+  le32(s, static_cast<std::uint32_t>(frame.size()));
+  le32(s, static_cast<std::uint32_t>(frame.size()));
+  s += frame;
+}
+
+trace_read_result read_pcap_bytes(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return read_pcap(in);
+}
+
+TEST(Pcap, WriterRoundTripsExactly) {
+  const auto original = make_trace(trace_kind::backbone, 500, /*seed=*/3);
+  std::stringstream buffer;
+  write_pcap(buffer, original);
+  const auto result = read_pcap(buffer);
+  ASSERT_TRUE(result.ok()) << result.error;
   EXPECT_EQ(result.malformed_lines, 0u);
+  ASSERT_EQ(result.packets.size(), original.size());
+  EXPECT_TRUE(std::equal(result.packets.begin(), result.packets.end(), original.begin()));
+}
+
+TEST(Pcap, FileSniffingRoutesCapturesAndTextThroughOneEntryPoint) {
+  const auto original = make_trace(trace_kind::edge, 200, /*seed=*/8);
+  const std::string path = ::testing::TempDir() + "/memento_trace_io_test.pcap";
+  ASSERT_TRUE(write_pcap_file(path, original));
+  const auto result = read_trace_file(path);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.packets.size(), original.size());
+  EXPECT_TRUE(std::equal(result.packets.begin(), result.packets.end(), original.begin()));
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, BigEndianNanosecondRawIpCapture) {
+  // A capture written by a big-endian host with nanosecond timestamps and
+  // raw-IP linktype: every file-order field byte-swapped, frames bare IPv4.
+  std::string s;
+  be32(s, kPcapMagicNanos);
+  be16(s, 2);
+  be16(s, 4);
+  be32(s, 0);
+  be32(s, 0);
+  be32(s, 65535);
+  be32(s, kPcapLinktypeRawIp);
+  const std::string frame = ipv4_header(0x0A0B0C0Du, 0x01020304u);
+  be32(s, 1);  // ts_sec
+  be32(s, 2);  // ts_nsec
+  be32(s, static_cast<std::uint32_t>(frame.size()));
+  be32(s, static_cast<std::uint32_t>(frame.size()));
+  s += frame;
+
+  const auto result = read_pcap_bytes(s);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.packets[0].src, 0x0A0B0C0Du);
+  EXPECT_EQ(result.packets[0].dst, 0x01020304u);
+}
+
+TEST(Pcap, VlanTaggedIpv4IsParsed) {
+  std::string vlan_payload;
+  be16(vlan_payload, 0x0123);  // tag control
+  be16(vlan_payload, 0x0800);  // inner ethertype
+  vlan_payload += ipv4_header(0x7F000001u, 0x7F000002u);
+  std::string s = pcap_header_le(kPcapLinktypeEthernet);
+  append_record_le(s, ether_frame(0x8100, vlan_payload));
+  const auto result = read_pcap_bytes(s);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.packets[0].src, 0x7F000001u);
+  EXPECT_EQ(result.packets[0].dst, 0x7F000002u);
+}
+
+TEST(Pcap, NonIpv4RecordsAreSkippedNotFatal) {
+  std::string s = pcap_header_le(kPcapLinktypeEthernet);
+  append_record_le(s, ether_frame(0x0806, std::string(28, '\0')));  // ARP
+  append_record_le(s, ether_frame(0x0800, ipv4_header(1, 2)));
+  append_record_le(s, std::string(6, '\0'));  // runt frame
+  const auto result = read_pcap_bytes(s);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.malformed_lines, 2u);
+}
+
+TEST(Pcap, TruncationIsFatalAtEveryLevel) {
+  // Global header cut short.
+  auto r = read_pcap_bytes(pcap_header_le(kPcapLinktypeEthernet).substr(0, 10));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("global header"), std::string::npos);
+
+  // Record header cut short (after one intact record, which is retained).
+  std::string s = pcap_header_le(kPcapLinktypeEthernet);
+  append_record_le(s, ether_frame(0x0800, ipv4_header(3, 4)));
+  r = read_pcap_bytes(s + std::string(8, '\0'));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("record header"), std::string::npos);
+  EXPECT_EQ(r.packets.size(), 1u);  // parsed-so-far packets survive
+
+  // Record body shorter than its header claims.
+  std::string t = pcap_header_le(kPcapLinktypeEthernet);
+  append_record_le(t, ether_frame(0x0800, ipv4_header(5, 6)));
+  r = read_pcap_bytes(t.substr(0, t.size() - 5));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("record body"), std::string::npos);
+}
+
+TEST(Pcap, BadMagicLinktypeAndLengthAreRejected) {
+  std::string bad_magic = pcap_header_le(kPcapLinktypeEthernet, 0xDEADBEEFu);
+  EXPECT_NE(read_pcap_bytes(bad_magic).error.find("bad magic"), std::string::npos);
+
+  std::string bad_link = pcap_header_le(/*linktype=*/105);  // 802.11
+  EXPECT_NE(read_pcap_bytes(bad_link).error.find("linktype"), std::string::npos);
+
+  std::string bad_len = pcap_header_le(kPcapLinktypeEthernet);
+  le32(bad_len, 0);
+  le32(bad_len, 0);
+  le32(bad_len, 0x40000000u);  // 1 GiB captured length: corrupt framing
+  le32(bad_len, 0x40000000u);
+  EXPECT_NE(read_pcap_bytes(bad_len).error.find("captured length"), std::string::npos);
 }
 
 }  // namespace
