@@ -32,6 +32,7 @@
 #include "shard/shard_pool.hpp"
 #include "sketch/exact_window.hpp"
 #include "trace/trace_generator.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -56,6 +57,20 @@ const std::vector<std::uint64_t>& trace_ids(trace_kind kind) {
 /// receive burst, and large enough to fill the kernel's internal chunk.
 constexpr std::size_t kBurst = 256;
 
+/// Probe-behavior counters: how the Space-Saving counter index and the
+/// overflow table actually probed during the run, so SIMD-vs-scalar probe
+/// behavior is observable in the artifact rather than inferred from Mpps.
+void attach_probe_stats(benchmark::State& state, const memento_sketch<std::uint64_t>& sketch) {
+  const flat_hash_stats idx = sketch.counter_index_stats();
+  state.counters["index_load"] = idx.load_factor;
+  state.counters["index_max_probe"] = static_cast<double>(idx.max_probe);
+  state.counters["index_mean_probe"] = idx.mean_probe;
+  const flat_hash_stats ovf = sketch.overflow_table_stats();
+  state.counters["overflow_load"] = ovf.load_factor;
+  state.counters["overflow_max_probe"] = static_cast<double>(ovf.max_probe);
+  state.counters["overflow_peak_per_block"] = static_cast<double>(sketch.block_overflow_peak());
+}
+
 void hh_speed(benchmark::State& state) {
   const auto kind = static_cast<trace_kind>(state.range(0));
   const auto counters = static_cast<std::size_t>(state.range(1));
@@ -73,6 +88,7 @@ void hh_speed(benchmark::State& state) {
   state.counters["Mpps"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * static_cast<double>(ids.size()) / 1e6,
       benchmark::Counter::kIsRate);
+  attach_probe_stats(state, sketch);
   state.SetLabel(std::string(trace_name(kind)) + "/k=" + std::to_string(counters) +
                  "/tau=1/" + std::to_string(state.range(2)));
 }
@@ -96,6 +112,7 @@ void hh_speed_batch(benchmark::State& state) {
   state.counters["Mpps"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * static_cast<double>(ids.size()) / 1e6,
       benchmark::Counter::kIsRate);
+  attach_probe_stats(state, sketch);
   state.SetLabel(std::string(trace_name(kind)) + "/k=" + std::to_string(counters) +
                  "/tau=1/" + std::to_string(state.range(2)) + "/burst=" + std::to_string(kBurst));
 }
@@ -338,6 +355,18 @@ void register_all() {
 int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
+  // Provenance context for summarize.py. `memento_build_type` reflects THIS
+  // binary's codegen (bench targets pin -O3 -DNDEBUG regardless of the
+  // CMake build type), unlike gbench's `library_build_type`, which reports
+  // how the distro built libbenchmark. `memento_simd_dispatch` records the
+  // kernel tier the run actually used (cpuid + MEMENTO_ISA clamp).
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  benchmark::AddCustomContext("memento_build_type", "release");
+#else
+  benchmark::AddCustomContext("memento_build_type", "debug");
+#endif
+  benchmark::AddCustomContext("memento_simd_dispatch",
+                              memento::simd::tier_name(memento::simd::active()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

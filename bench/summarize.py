@@ -97,14 +97,19 @@ def reduce_benchmarks(raw: dict) -> dict:
         if mpps is None:  # fall back to items/s when the counter is absent
             items = b.get("items_per_second")
             mpps = items / 1e6 if items else None
-        entries.append(
-            {
-                "family": family,
-                "args": args,
-                "label": b.get("label", ""),
-                "mpps": round(mpps, 3) if mpps is not None else None,
-            }
-        )
+        entry = {
+            "family": family,
+            "args": args,
+            "label": b.get("label", ""),
+            "mpps": round(mpps, 3) if mpps is not None else None,
+        }
+        # Probe-behavior introspection counters (flat_hash stats surfaced by
+        # the bench): carried so SIMD-vs-scalar probing is observable in the
+        # committed trajectory, not inferred from Mpps alone.
+        for key, value in sorted(b.items()):
+            if key.startswith(("index_", "overflow_")) and isinstance(value, (int, float)):
+                entry[key] = round(value, 4)
+        entries.append(entry)
     entries.sort(key=lambda e: (e["family"], e["args"]))
 
     by_key = {(e["family"], e["args"]): e for e in entries}
@@ -166,6 +171,13 @@ def reduce_benchmarks(raw: dict) -> dict:
             "num_cpus": context.get("num_cpus"),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
             "library_build_type": context.get("library_build_type"),
+            # Self-reported by the bench binary (AddCustomContext): the
+            # authoritative codegen provenance (bench targets always pin
+            # -O3 -DNDEBUG, so library_build_type describing the distro's
+            # libbenchmark says nothing about OUR code) and the SIMD kernel
+            # tier the run dispatched to.
+            "memento_build_type": context.get("memento_build_type"),
+            "simd_dispatch": context.get("memento_simd_dispatch"),
         },
         "entries": entries,
         "pairs": pairs,
@@ -177,6 +189,43 @@ def reduce_benchmarks(raw: dict) -> dict:
     return summary
 
 
+def check_provenance(summary: dict, allow_debug: bool) -> bool:
+    """Refuse debug-codegen inputs; warn loudly when provenance is murky.
+
+    The committed artifact is a perf trajectory - a debug-built bench binary
+    would poison every later diff against it. `memento_build_type` is the
+    bench binary's own NDEBUG/-O report (authoritative); `library_build_type`
+    only describes how the distro compiled libbenchmark, so a debug value
+    there is a warning, not an error.
+    """
+    host = summary.get("host", {})
+    build = host.get("memento_build_type")
+    if build == "debug":
+        if not allow_debug:
+            sys.stderr.write(
+                "summarize.py: REFUSING debug-built bench input "
+                "(host.memento_build_type == 'debug'). Re-run the bench from a "
+                "-O3 -DNDEBUG build, or pass --allow-debug to override.\n"
+            )
+            return False
+        sys.stderr.write(
+            "summarize.py: WARNING: summarizing a DEBUG bench run "
+            "(--allow-debug); do not commit this artifact.\n"
+        )
+    elif build is None:
+        sys.stderr.write(
+            "summarize.py: WARNING: input carries no memento_build_type "
+            "context (old bench binary?); codegen provenance is unverified.\n"
+        )
+    if host.get("library_build_type") == "debug":
+        sys.stderr.write(
+            "summarize.py: WARNING: libbenchmark itself is a debug build "
+            "(library_build_type == 'debug'); timing overhead inside the "
+            "benchmark harness may be inflated.\n"
+        )
+    return True
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -184,6 +233,11 @@ def main() -> int:
         help="Google Benchmark --benchmark_format=json output, or a prior summarize.py artifact",
     )
     ap.add_argument("-o", "--output", default=None, help="write here instead of stdout")
+    ap.add_argument(
+        "--allow-debug",
+        action="store_true",
+        help="summarize a debug-built bench run anyway (never commit the result)",
+    )
     ap.add_argument(
         "--netwide",
         default=None,
@@ -207,6 +261,8 @@ def main() -> int:
         summary = raw  # already reduced: carry the perf sections through
     else:
         summary = reduce_benchmarks(raw)
+    if not check_provenance(summary, args.allow_debug):
+        return 1
     if args.netwide:
         with open(args.netwide, encoding="utf-8") as f:
             summary["netwide_bytes"] = json.load(f)["netwide_bytes"]

@@ -61,6 +61,7 @@
 #include "sketch/space_saving.hpp"
 #include "util/flat_hash.hpp"
 #include "util/random.hpp"
+#include "util/sliding_window_agg.hpp"
 #include "util/wire.hpp"
 
 namespace memento {
@@ -95,6 +96,7 @@ class memento_sketch {
 
   explicit memento_sketch(const memento_config& config)
       : y_(config.counters > 0 ? config.counters : 1),
+        overflow_peaks_(config.counters > 0 ? config.counters : 1),
         sampler_(config.tau, 1u << 16, config.seed),
         tau_(std::clamp(config.tau, 0.0, 1.0)),
         inv_tau_(tau_ > 0.0 ? 1.0 / tau_ : 0.0),
@@ -203,6 +205,7 @@ class memento_sketch {
     if (count % threshold_ == 0) {  // overflow (Algorithm 1 line 15)
       blocks_[head_].items.push_back(x);
       ++overflows_.find_or_emplace(x, 0);
+      ++appends_this_block_;
     }
   }
 
@@ -322,6 +325,23 @@ class memento_sketch {
   [[nodiscard]] std::size_t overflow_entries() const noexcept { return overflows_.size(); }
   /// Defensive-drain events (should stay 0; asserted in tests).
   [[nodiscard]] std::uint64_t forced_drains() const noexcept { return forced_drains_; }
+  /// Overflow appends recorded in the (still open) current block.
+  [[nodiscard]] std::uint64_t block_overflow_appends() const noexcept {
+    return appends_this_block_;
+  }
+  /// Peak per-block overflow-append count over the last k COMPLETED blocks
+  /// (one frame's worth): the window-burstiness signal. Maintained by a
+  /// two-stacks SIMD incremental aggregate (util/sliding_window_agg.hpp) -
+  /// O(1) amortized per block, vectorized suffix-max on the flip.
+  /// Introspection only: not serialized, so a restored sketch starts the
+  /// window fresh.
+  [[nodiscard]] std::uint64_t block_overflow_peak() const noexcept {
+    return overflow_peaks_.query();
+  }
+  /// Probe-behavior stats of the Space-Saving counter index (flat_hash).
+  [[nodiscard]] flat_hash_stats counter_index_stats() const { return y_.index_stats(); }
+  /// Probe-behavior stats of the overflow table B.
+  [[nodiscard]] flat_hash_stats overflow_table_stats() const { return overflows_.stats(); }
 
   // --- snapshot support ------------------------------------------------------
   // A snapshot captures the complete algorithm state: configuration (from
@@ -504,12 +524,15 @@ class memento_sketch {
     if (count * threshold_magic_ < threshold_magic_ || threshold_ == 1) {
       blocks_[head_].items.push_back(x);
       ++overflows_.find_or_emplace(x, 0);
+      ++appends_this_block_;
     }
   }
 
   /// Ends the current block: the oldest queue leaves the window and a fresh
   /// one becomes current (Algorithm 1 lines 5-7).
   void rotate_blocks() {
+    overflow_peaks_.push(appends_this_block_);  // the block just completed
+    appends_this_block_ = 0;
     head_ = head_ + 1 == blocks_.size() ? 0 : head_ + 1;
     // The slot we are claiming held the expired oldest queue. De-amortized
     // retirement guarantees it is already empty; drain defensively if not so
@@ -541,6 +564,7 @@ class memento_sketch {
   }
 
   space_saving<Key> y_;                       ///< in-frame sampled counts
+  max_window_u64 overflow_peaks_;             ///< per-block append peaks, last k blocks
   random_table_sampler sampler_;              ///< Bernoulli(tau) decisions
   flat_hash<Key, std::uint32_t> overflows_;   ///< the table B
   std::vector<block_queue> blocks_;           ///< the queue-of-queues b (k+1 ring)
@@ -556,6 +580,7 @@ class memento_sketch {
   std::uint64_t until_block_end_ = 1;  ///< packets until the block boundary fires
   std::uint64_t stream_length_ = 0;
   std::uint64_t forced_drains_ = 0;
+  std::uint64_t appends_this_block_ = 0;  ///< overflow appends in the open block
   std::uint64_t seed_ = 1;             ///< construction seed (snapshots rebuild the sampler from it)
 };
 

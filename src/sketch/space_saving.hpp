@@ -10,13 +10,22 @@
 //   * bounded overcount:  query(x) - f(x) <= min_count() <= N / capacity,
 //     where N is the number of add() calls since the last flush().
 //
-// Layout: counters live in a flat array; equal-count counters are chained
-// into a bucket; buckets form an ascending doubly-linked list whose head is
-// the minimum. All links are 32-bit indices into flat vectors - compact and
-// cache-predictable (Per.16 / Per.19), no per-update allocation (Per.14):
-// bucket nodes are recycled through a free list.
+// Layout: counter VALUES live in their own flat array (counts_), so the
+// count scans that back threshold queries (for_each_at_least) and the min
+// cross-check (min_scan) are contiguous 64-bit SIMD loads (util/simd.hpp);
+// everything else a mutation touches (key, overestimate, chain links, index
+// back-reference) is packed into one 32-byte node beside it - see cnode for
+// why splitting further costs more than it buys. Equal-count counters are
+// chained into a bucket; buckets form
+// an ascending doubly-linked list whose head is the minimum. All links are
+// 32-bit indices into flat vectors - compact and cache-predictable (Per.16 /
+// Per.19), no per-update allocation (Per.14): bucket nodes are recycled
+// through a free list. The dominant tau=1 operation - incrementing a counter
+// that is alone in its bucket - renames the bucket in place instead of
+// paying the detach/allocate/attach dance (see increment()).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <limits>
@@ -25,6 +34,7 @@
 #include <vector>
 
 #include "util/flat_hash.hpp"
+#include "util/simd.hpp"
 #include "util/wire.hpp"
 
 namespace memento {
@@ -42,7 +52,8 @@ class space_saving {
   };
 
   /// @param capacity number of counters (the paper's k); must be >= 1.
-  explicit space_saving(std::size_t capacity) : counters_(capacity) {
+  explicit space_saving(std::size_t capacity)
+      : nodes_(capacity), counts_(capacity, 0) {
     if (capacity == 0) throw std::invalid_argument("space_saving: capacity must be >= 1");
     if (capacity >= npos) throw std::invalid_argument("space_saving: capacity too large");
     index_.reserve(capacity * 2);
@@ -63,13 +74,12 @@ class space_saving {
     if (const std::uint32_t* idx = index_.find_prehashed(bucket, x)) {
       return increment(*idx);
     }
-    if (used_ < counters_.size()) {
+    if (used_ < capacity()) {
       const auto idx = static_cast<std::uint32_t>(used_++);
-      counter_node& c = counters_[idx];
-      c.key = x;
-      c.count = 1;
-      c.overestimate = 0;
-      c.islot = static_cast<std::uint32_t>(index_.emplace_prehashed(bucket, x, idx));
+      nodes_[idx].key = x;
+      counts_[idx] = 1;
+      nodes_[idx].overest = 0;
+      nodes_[idx].islot = static_cast<std::uint32_t>(index_.emplace_prehashed(bucket, x, idx));
       attach_to_count_one(idx);
       return 1;
     }
@@ -78,14 +88,29 @@ class space_saving {
     // entry is removed by stored slot position - no probe; the backward
     // shift's relocations flow back into the affected counters' islot.
     const std::uint32_t idx = buckets_[min_bucket_].head;
-    counter_node& c = counters_[idx];
-    index_.erase_at(c.islot, [this](std::uint32_t moved, std::size_t pos) {
-      counters_[moved].islot = static_cast<std::uint32_t>(pos);
+    index_.erase_at(nodes_[idx].islot, [this](std::uint32_t moved, std::size_t pos) {
+      nodes_[moved].islot = static_cast<std::uint32_t>(pos);
     });
-    c.overestimate = c.count;
-    c.key = x;
-    c.islot = static_cast<std::uint32_t>(index_.emplace_prehashed(bucket, x, idx));
+    nodes_[idx].overest = counts_[idx];
+    nodes_[idx].key = x;
+    nodes_[idx].islot = static_cast<std::uint32_t>(index_.emplace_prehashed(bucket, x, idx));
     return increment(idx);
+  }
+
+  /// Bulk add: mirrors the batched update loop the sketches run (and
+  /// HammerSlide's insert(T*, start, end) shape) - hash a chunk of keys in
+  /// one pure pass, prefetch their index lines, then replay the structural
+  /// updates with everything resident.
+  void add_batch(const Key* xs, std::size_t n) {
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t m = std::min(kAddChunk, n - i);
+      std::size_t buckets[kAddChunk];
+      for (std::size_t j = 0; j < m; ++j) buckets[j] = index_.bucket(xs[i + j]);
+      for (std::size_t j = 0; j < m; ++j) index_.prefetch_bucket(buckets[j]);
+      for (std::size_t j = 0; j < m; ++j) add_prehashed(buckets[j], xs[i + j]);
+      i += m;
+    }
   }
 
   /// Home bucket of x in the counter index (see flat_hash::bucket); feed to
@@ -99,17 +124,16 @@ class space_saving {
   /// evicted with at most that many arrivals), otherwise 0.
   [[nodiscard]] std::uint64_t query(const Key& x) const {
     if (const std::uint32_t* idx = index_.find(x)) {
-      return counters_[*idx].count;
+      return counts_[*idx];
     }
-    return used_ == counters_.size() ? min_count() : 0;
+    return used_ == capacity() ? min_count() : 0;
   }
 
   /// Lower-bound estimate: count minus the recorded overestimate (0 when the
   /// flow is not monitored). Never exceeds the true frequency.
   [[nodiscard]] std::uint64_t query_lower(const Key& x) const {
     if (const std::uint32_t* idx = index_.find(x)) {
-      const counter_node& c = counters_[*idx];
-      return c.count - c.overestimate;
+      return counts_[*idx] - nodes_[*idx].overest;
     }
     return 0;
   }
@@ -123,9 +147,17 @@ class space_saving {
   /// prefetch() by precomputed home bucket (see index_bucket()).
   void prefetch_bucket(std::size_t bucket) const noexcept { index_.prefetch_bucket(bucket); }
 
-  /// Value of the minimum counter (0 when empty).
+  /// Value of the minimum counter (0 when empty). O(1) via the bucket list.
   [[nodiscard]] std::uint64_t min_count() const {
     return min_bucket_ == npos ? 0 : buckets_[min_bucket_].count;
+  }
+
+  /// The minimum counter value recomputed by a SIMD scan over the flat count
+  /// array - an O(k) cross-check of the O(1) bucket-list answer, exposed so
+  /// tests and monitoring can validate the structure instead of trusting it.
+  [[nodiscard]] std::uint64_t min_scan() const {
+    if (used_ == 0) return 0;
+    return simd::min_scan_u64(counts_.data(), used_).first;
   }
 
   /// Resets all counters (Memento calls this at every frame boundary,
@@ -143,7 +175,7 @@ class space_saving {
   [[nodiscard]] std::uint64_t stream_length() const noexcept { return adds_; }
 
   [[nodiscard]] std::size_t size() const noexcept { return used_; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return counters_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return nodes_.size(); }
 
   /// Snapshot of all monitored entries (used by HH output, MST/RHHH lattice
   /// candidates, and the Aggregation communication method).
@@ -151,7 +183,7 @@ class space_saving {
     std::vector<entry> out;
     out.reserve(used_);
     for (std::size_t i = 0; i < used_; ++i) {
-      out.push_back({counters_[i].key, counters_[i].count, counters_[i].overestimate});
+      out.push_back({nodes_[i].key, counts_[i], nodes_[i].overest});
     }
     return out;
   }
@@ -160,16 +192,32 @@ class space_saving {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (std::size_t i = 0; i < used_; ++i) {
-      fn(counters_[i].key, counters_[i].count, counters_[i].overestimate);
+      fn(nodes_[i].key, counts_[i], nodes_[i].overest);
     }
   }
+
+  /// Invokes fn(key, count, overestimate) for every entry with
+  /// count >= bar - the heavy-hitter selection loop. The count array is
+  /// contiguous, so the filter is a SIMD compare+movemask sweep that touches
+  /// nodes only for survivors (few, when bar is a real threshold).
+  template <typename Fn>
+  void for_each_at_least(std::uint64_t bar, Fn&& fn) const {
+    simd::scan_ge_u64(counts_.data(), used_, bar, [&](std::size_t i) {
+      fn(nodes_[i].key, counts_[i], nodes_[i].overest);
+    });
+  }
+
+  /// Probe-behavior stats of the backing key index (see flat_hash::stats).
+  [[nodiscard]] flat_hash_stats index_stats() const { return index_.stats(); }
 
   // --- snapshot support ------------------------------------------------------
   // The structure is serialized EXACTLY - counter slots, bucket chains, the
   // bucket free list, and the index's slot layout - because behavior depends
   // on all of it: eviction takes the head of the minimum bucket's chain,
   // and chain order is operation-history. A restored instance therefore
-  // continues the stream bit-identically.
+  // continues the stream bit-identically. The wire format predates the
+  // structure-of-arrays split (each counter's fields are interleaved on the
+  // wire), so snapshots cross library versions and dispatch tiers freely.
 
   static constexpr std::uint16_t kWireTag = 0x5353;  ///< "SS"
   static constexpr std::uint16_t kWireVersion = 1;
@@ -177,7 +225,7 @@ class space_saving {
   /// Serializes the full structure as one versioned section.
   void save(wire::writer& w) const {
     const std::size_t tok = w.begin_section(kWireTag, kWireVersion);
-    w.varint(counters_.size());
+    w.varint(capacity());
     w.varint(used_);
     w.u64(adds_);
     w.u32(min_bucket_);
@@ -190,14 +238,13 @@ class space_saving {
       w.u32(b.next);
     }
     for (std::size_t i = 0; i < used_; ++i) {
-      const counter_node& c = counters_[i];
-      wire::codec<Key>::put(w, c.key);
-      w.varint(c.count);
-      w.varint(c.overestimate);
-      w.u32(c.prev);
-      w.u32(c.next);
-      w.u32(c.bucket);
-      w.u32(c.islot);
+      wire::codec<Key>::put(w, nodes_[i].key);
+      w.varint(counts_[i]);
+      w.varint(nodes_[i].overest);
+      w.u32(nodes_[i].prev);
+      w.u32(nodes_[i].next);
+      w.u32(nodes_[i].bucket);
+      w.u32(nodes_[i].islot);
     }
     index_.save(w);
     w.end_section(tok);
@@ -248,17 +295,17 @@ class space_saving {
     }
     if (used * 26 > body.remaining()) return std::nullopt;
     for (std::size_t i = 0; i < out.used_; ++i) {
-      counter_node& c = out.counters_[i];
-      if (!wire::codec<Key>::get(body, c.key) || !body.varint(c.count) ||
-          !body.varint(c.overestimate)) {
+      cnode& m = out.nodes_[i];
+      if (!wire::codec<Key>::get(body, out.nodes_[i].key) || !body.varint(out.counts_[i]) ||
+          !body.varint(out.nodes_[i].overest)) {
         return std::nullopt;
       }
-      if (!body.u32(c.prev) || !body.u32(c.next) || !body.u32(c.bucket) || !body.u32(c.islot)) {
+      if (!body.u32(m.prev) || !body.u32(m.next) || !body.u32(m.bucket) || !body.u32(m.islot)) {
         return std::nullopt;
       }
-      if (c.count == 0 || c.overestimate >= c.count) return std::nullopt;
-      if (!link_ok(c.prev, used) || !link_ok(c.next, used)) return std::nullopt;
-      if (c.bucket >= nbuckets) return std::nullopt;  // live counters own a bucket
+      if (out.counts_[i] == 0 || out.nodes_[i].overest >= out.counts_[i]) return std::nullopt;
+      if (!link_ok(m.prev, used) || !link_ok(m.next, used)) return std::nullopt;
+      if (m.bucket >= nbuckets) return std::nullopt;  // live counters own a bucket
     }
     if (!link_ok(min_bucket, nbuckets) || !link_ok(bucket_free, nbuckets)) return std::nullopt;
     // The eviction path dereferences buckets_[min_bucket_].head whenever the
@@ -284,11 +331,11 @@ class space_saving {
       prev_count = b.count;
       prev_bkt = bkt;
       std::uint32_t prev_counter = npos;
-      for (std::uint32_t c = b.head; c != npos; c = out.counters_[c].next) {
+      for (std::uint32_t c = b.head; c != npos; c = out.nodes_[c].next) {
         if (counter_seen[c]) return std::nullopt;  // cycle or shared counter
         counter_seen[c] = 1;
-        const counter_node& node = out.counters_[c];
-        if (node.bucket != bkt || node.count != b.count || node.prev != prev_counter) {
+        if (out.nodes_[c].bucket != bkt || out.counts_[c] != b.count ||
+            out.nodes_[c].prev != prev_counter) {
           return std::nullopt;
         }
         prev_counter = c;
@@ -311,7 +358,7 @@ class space_saving {
     // undersized image would overflow or spin on a later add, and bucket()
     // values computed against it would be wrong. Honest saves always ship
     // the reserved capacity; anything smaller is malformed.
-    if (out.index_.capacity() - out.index_.capacity() / 4 < 2 * out.counters_.size()) {
+    if (out.index_.capacity() - out.index_.capacity() / 4 < 2 * out.capacity()) {
       return std::nullopt;
     }
     // Cross-check: the index must be a bijection onto the live counters,
@@ -319,8 +366,8 @@ class space_saving {
     // the size check this rejects duplicated or dangling entries.
     bool consistent = true;
     out.index_.for_each_slot([&](std::size_t pos, const Key& key, std::uint32_t value) {
-      if (value >= out.used_ || !(out.counters_[value].key == key) ||
-          out.counters_[value].islot != pos) {
+      if (value >= out.used_ || !(out.nodes_[value].key == key) ||
+          out.nodes_[value].islot != pos) {
         consistent = false;
       }
     });
@@ -334,13 +381,21 @@ class space_saving {
   /// k is hundreds to thousands) while bounding what a crafted tiny
   /// snapshot can make restore() allocate before rejection to tens of MB.
   static constexpr std::uint64_t kMaxRestoreCounters = std::uint64_t{1} << 18;
+  /// add_batch's hash-ahead distance; matches the sketches' batch chunking.
+  static constexpr std::size_t kAddChunk = 32;
 
   friend class snapshot_builder;  ///< reshard's bulk state loader (snapshot/reshard.hpp)
 
-  struct counter_node {
+  /// Everything a counter mutation touches besides its count, packed into
+  /// ONE node (32 bytes for 8-byte keys) so an add dirties at most two data
+  /// lines: this node and the counts_ entry. Only the counts stay split out
+  /// as a separate flat array - they are what the SIMD threshold/min scans
+  /// stream over; scattering key/overestimate/links into parallel arrays as
+  /// well measurably hurt the batched update path (more resident lines per
+  /// add, none of them prefetchable before the index lookup resolves).
+  struct cnode {
     Key key{};
-    std::uint64_t count = 0;
-    std::uint64_t overestimate = 0;
+    std::uint64_t overest = 0;    ///< overestimate recorded at last reallocation
     std::uint32_t prev = npos;    ///< previous counter in the same bucket
     std::uint32_t next = npos;    ///< next counter in the same bucket
     std::uint32_t bucket = npos;  ///< owning bucket index
@@ -375,13 +430,13 @@ class space_saving {
 
   /// Unlinks a counter from its bucket's chain; frees the bucket if emptied.
   void detach_counter(std::uint32_t idx) {
-    counter_node& c = counters_[idx];
-    const std::uint32_t bkt = c.bucket;
-    if (c.prev != npos) counters_[c.prev].next = c.next;
-    if (c.next != npos) counters_[c.next].prev = c.prev;
-    if (buckets_[bkt].head == idx) buckets_[bkt].head = c.next;
-    c.prev = c.next = npos;
-    c.bucket = npos;
+    cnode& m = nodes_[idx];
+    const std::uint32_t bkt = m.bucket;
+    if (m.prev != npos) nodes_[m.prev].next = m.next;
+    if (m.next != npos) nodes_[m.next].prev = m.prev;
+    if (buckets_[bkt].head == idx) buckets_[bkt].head = m.next;
+    m.prev = m.next = npos;
+    m.bucket = npos;
     if (buckets_[bkt].head == npos) unlink_bucket(bkt);
   }
 
@@ -396,11 +451,11 @@ class space_saving {
   /// Pushes a counter onto a bucket's chain (order within a bucket is
   /// irrelevant, so head insertion keeps it O(1)).
   void push_counter(std::uint32_t idx, std::uint32_t bkt) {
-    counter_node& c = counters_[idx];
-    c.bucket = bkt;
-    c.prev = npos;
-    c.next = buckets_[bkt].head;
-    if (c.next != npos) counters_[c.next].prev = idx;
+    cnode& m = nodes_[idx];
+    m.bucket = bkt;
+    m.prev = npos;
+    m.next = buckets_[bkt].head;
+    if (m.next != npos) nodes_[m.next].prev = idx;
     buckets_[bkt].head = idx;
   }
 
@@ -420,15 +475,30 @@ class space_saving {
 
   /// count += 1 and migrate to the adjacent bucket, creating it if needed.
   /// Returns the new count.
+  ///
+  /// Fast path first: a counter alone in its bucket whose successor bucket
+  /// is not at count+1 keeps its node and renames the bucket in place -
+  /// ascending order is preserved (the successor, if any, is >= count+2)
+  /// and no node is allocated or freed. At tau=1 on heavy-tailed traces
+  /// this is the overwhelmingly common case (every elephant past the pack
+  /// sits alone in its bucket), and it turns the per-packet structure cost
+  /// into two array writes.
   std::uint64_t increment(std::uint32_t idx) {
-    counter_node& c = counters_[idx];
-    const std::uint32_t bkt = c.bucket;
-    const std::uint64_t target = c.count + 1;
-    const std::uint32_t next = buckets_[bkt].next;
+    const cnode& m = nodes_[idx];
+    const std::uint32_t bkt = m.bucket;
+    const std::uint64_t target = counts_[idx] + 1;
+    const std::uint32_t nxt = buckets_[bkt].next;
 
-    if (next != npos && buckets_[next].count == target) {
-      detach_counter(idx);  // may free bkt; `next` survives (it holds counters)
-      push_counter(idx, next);
+    if (m.prev == npos && m.next == npos &&
+        (nxt == npos || buckets_[nxt].count != target)) {
+      buckets_[bkt].count = target;
+      counts_[idx] = target;
+      return target;
+    }
+
+    if (nxt != npos && buckets_[nxt].count == target) {
+      detach_counter(idx);  // may free bkt; `nxt` survives (it holds counters)
+      push_counter(idx, nxt);
     } else {
       // Create the target bucket after bkt *before* detaching, so bkt's list
       // position anchors the insertion even if bkt becomes empty.
@@ -441,11 +511,12 @@ class space_saving {
       detach_counter(idx);
       push_counter(idx, fresh);
     }
-    c.count = target;
+    counts_[idx] = target;
     return target;
   }
 
-  std::vector<counter_node> counters_;
+  std::vector<cnode> nodes_;             ///< per-counter key + overestimate + links
+  std::vector<std::uint64_t> counts_;    ///< counter values - contiguous for SIMD scans
   std::vector<bucket_node> buckets_;
   flat_hash<Key, std::uint32_t> index_;
   std::uint32_t bucket_free_ = npos;

@@ -238,11 +238,11 @@ class snapshot_builder {
       const std::size_t home = ss.index_.bucket(e.key);
       if (ss.index_.find_prehashed(home, e.key) != nullptr) return false;  // duplicate key
       const auto idx = static_cast<std::uint32_t>(ss.used_++);
-      auto& c = ss.counters_[idx];
-      c.key = e.key;
-      c.count = e.count;
-      c.overestimate = e.overestimate;
-      c.islot = static_cast<std::uint32_t>(ss.index_.emplace_prehashed(home, e.key, idx));
+      ss.nodes_[idx].key = e.key;
+      ss.counts_[idx] = e.count;
+      ss.nodes_[idx].overest = e.overestimate;
+      ss.nodes_[idx].islot =
+          static_cast<std::uint32_t>(ss.index_.emplace_prehashed(home, e.key, idx));
       if (last_bucket == ss_t::npos || ss.buckets_[last_bucket].count != e.count) {
         const std::uint32_t bkt = ss.new_bucket(e.count);
         ss.buckets_[bkt].prev = last_bucket;

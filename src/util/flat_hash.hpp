@@ -9,11 +9,21 @@
 // so a long-running sketch never degrades from accumulated tombstones and
 // never allocates after reserve().
 //
+// SwissTable-style group probing: alongside the slots lives a 1-byte control
+// array - the top 7 hash bits (H2) for a used slot, a sentinel for an empty
+// one - padded with a wraparound mirror so a probe can inspect 16 (SSE2) or
+// 32 (AVX2) consecutive slots with one unaligned load + compare + movemask
+// (util/simd.hpp picks the tier at runtime; MEMENTO_ISA / simd::force clamp
+// it). The group walk visits slots in exactly linear-probe order and stops at
+// the first empty byte, so every dispatch tier finds the same entry, inserts
+// into the same slot, and serializes to the same bytes - the scalar probe
+// (which prefilters on the same control byte) is retained as the
+// differential oracle, pinned by tests/flat_hash_test.cpp.
+//
 // Values are small (32-bit counter indices / overflow counts across the
 // stack), so slots stay 16 bytes for 64-bit keys - four per cache line - and
-// a probe is a predictable forward scan. `bucket_of` finishes the hash with
-// a splitmix64-style avalanche so identity std::hash (libstdc++ integers)
-// still spreads over the power-of-two range.
+// the control array for a full-size counter index is ~2 KB, i.e. L1-resident
+// while the slot array is not.
 //
 // Used by space_saving::index_ and memento_sketch::overflows_, and through
 // them by WCSS, H-Memento, MST and RHHH. References into the table are
@@ -29,9 +39,22 @@
 #include <vector>
 
 #include "util/random.hpp"
+#include "util/simd.hpp"
 #include "util/wire.hpp"
 
 namespace memento {
+
+/// Probe-behavior introspection (flat_hash::stats): how the table actually
+/// probes, so SIMD-vs-scalar behavior is observable, not inferred. Probe
+/// distance of an entry = slots walked past its home bucket (0 = sits at
+/// home); a lookup touches distance+1 slots.
+struct flat_hash_stats {
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+  std::size_t max_probe = 0;    ///< worst entry's probe distance
+  double mean_probe = 0.0;      ///< average probe distance over entries
+  double load_factor = 0.0;     ///< size / capacity (0 for an empty table)
+};
 
 template <typename Key, typename Value = std::uint32_t, typename Hash = std::hash<Key>>
 class flat_hash {
@@ -53,11 +76,8 @@ class flat_hash {
   /// rehashing insert.
   [[nodiscard]] Value* find(const Key& x) noexcept {
     if (slots_.empty()) return nullptr;
-    for (std::size_t i = bucket_of(x);; i = next(i)) {
-      slot& s = slots_[i];
-      if (!s.used) return nullptr;
-      if (s.key == x) return &s.value;
-    }
+    const std::size_t i = find_index(token_of(x), x);
+    return i == knpos ? nullptr : &slots_[i].value;
   }
 
   [[nodiscard]] const Value* find(const Key& x) const noexcept {
@@ -67,15 +87,12 @@ class flat_hash {
   [[nodiscard]] bool contains(const Key& x) const noexcept { return find(x) != nullptr; }
 
   /// Inserts {x, v}; x must not already be present (the sketches always
-  /// find() first, so the probe is not repeated here beyond the empty scan).
+  /// find() first, so the full probe is only repeated in debug builds).
   void emplace(const Key& x, Value v) {
     grow_if_needed();
-    std::size_t i = bucket_of(x);
-    while (slots_[i].used) {
-      assert(!(slots_[i].key == x) && "flat_hash::emplace: key already present");
-      i = next(i);
-    }
-    place(i, x, v);
+    const std::uint64_t token = token_of(x);
+    assert(find_index(token, x) == knpos && "flat_hash::emplace: key already present");
+    place(first_empty(token), token, x, v);
   }
 
   /// Value of x, inserting `init` first when absent (the `++map[x]` idiom).
@@ -83,16 +100,12 @@ class flat_hash {
   /// outstanding find() pointers).
   [[nodiscard]] Value& find_or_emplace(const Key& x, Value init) {
     if (slots_.empty()) rehash(kMinCapacity);
-    std::size_t i = bucket_of(x);
-    for (; slots_[i].used; i = next(i)) {
-      if (slots_[i].key == x) return slots_[i].value;
-    }
-    if (size_ + 1 > slots_.size() - slots_.size() / 4) {
-      rehash(slots_.size() * 2);
-      i = bucket_of(x);
-      while (slots_[i].used) i = next(i);
-    }
-    place(i, x, init);
+    const std::uint64_t token = token_of(x);
+    const std::size_t hit = find_index(token, x);
+    if (hit != knpos) return slots_[hit].value;
+    if (size_ + 1 > slots_.size() - slots_.size() / 4) rehash(slots_.size() * 2);
+    const std::size_t i = first_empty(token);
+    place(i, token, x, init);
     return slots_[i].value;
   }
 
@@ -101,12 +114,8 @@ class flat_hash {
   /// past its home bucket, so lookups never need tombstones.
   bool erase(const Key& x) {
     if (slots_.empty()) return false;
-    std::size_t pos = bucket_of(x);
-    while (true) {
-      if (!slots_[pos].used) return false;
-      if (slots_[pos].key == x) break;
-      pos = next(pos);
-    }
+    const std::size_t pos = find_index(token_of(x), x);
+    if (pos == knpos) return false;
     erase_slot(pos, [](Value, std::size_t) {});
     return true;
   }
@@ -118,13 +127,14 @@ class flat_hash {
   /// maintain those back-references.
   template <typename MoveFn>
   void erase_at(std::size_t pos, MoveFn&& on_move) {
-    assert(pos < slots_.size() && slots_[pos].used);
+    assert(pos < slots_.size() && is_used(pos));
     erase_slot(pos, std::forward<MoveFn>(on_move));
   }
 
   /// Drops all entries; capacity is retained (flush() happens every frame).
   void clear() noexcept {
     for (auto& s : slots_) s = slot{};
+    if (!ctrl_.empty()) std::fill(ctrl_.begin(), ctrl_.end(), simd::kCtrlEmpty);
     size_ = 0;
   }
 
@@ -132,59 +142,63 @@ class flat_hash {
   /// order - deterministic for a given operation history.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const slot& s : slots_) {
-      if (s.used) fn(s.key, s.value);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (is_used(i)) fn(slots_[i].key, slots_[i].value);
     }
   }
 
   /// Hints the cache about x's home slot; pairs with update_batch's
-  /// decision lookahead so the probe's first line is resident on arrival.
+  /// decision lookahead so the probe's first lines - the control byte read
+  /// first by every lookup, then the slot itself - are resident on arrival.
   void prefetch(const Key& x) const noexcept {
-    if (!slots_.empty()) __builtin_prefetch(&slots_[bucket_of(x)]);
+    if (slots_.empty()) return;
+    const std::size_t i = token_of(x) & mask_;
+    __builtin_prefetch(ctrl_.data() + i);
+    __builtin_prefetch(&slots_[i]);
   }
 
   // --- prehashed hot-path entry points -------------------------------------
   // Batched callers hash a whole chunk of keys up front (a vectorizable pure
-  // loop) and replay the probes later with the home bucket already in hand.
-  // A bucket value stays valid only while capacity() is unchanged, so these
-  // are restricted to pre-reserved tables that never grow (asserted).
+  // loop) and replay the probes later with the finished hash - the probe
+  // token - already in hand. The token carries the full mixed hash (home
+  // bucket in the low bits, the SIMD control tag in the high bits), so it
+  // stays valid however the probe is dispatched. Like before, prehashed
+  // mutation is restricted to pre-reserved tables that never grow
+  // (asserted): growth would relocate entries under outstanding slot
+  // positions returned by emplace_prehashed.
 
-  /// Home bucket of x; the table must be non-empty (reserve() first).
+  /// Probe token of x; the table must be non-empty (reserve() first).
   [[nodiscard]] std::size_t bucket(const Key& x) const noexcept {
     assert(!slots_.empty() && "flat_hash::bucket: reserve() before prehashing");
-    return bucket_of(x);
+    return token_of(x);
   }
 
-  /// find(x), probing from a bucket() value computed earlier.
+  /// find(x), probing from a bucket() token computed earlier.
   [[nodiscard]] Value* find_prehashed(std::size_t bucket, const Key& x) noexcept {
-    assert(!slots_.empty() && bucket == bucket_of(x));
-    for (std::size_t i = bucket;; i = next(i)) {
-      slot& s = slots_[i];
-      if (!s.used) return nullptr;
-      if (s.key == x) return &s.value;
-    }
+    assert(!slots_.empty() && bucket == token_of(x));
+    const std::size_t i = find_index(bucket, x);
+    return i == knpos ? nullptr : &slots_[i].value;
   }
 
-  /// emplace(x, v) from a bucket() value; the table must have spare reserved
-  /// capacity (growth would invalidate every outstanding bucket value).
+  /// emplace(x, v) from a bucket() token; the table must have spare reserved
+  /// capacity (growth would invalidate every outstanding slot position).
   /// Returns the slot position x landed in (stable until a rehash or until a
   /// backward-shift erase relocates it - see erase_at's on_move).
   std::size_t emplace_prehashed(std::size_t bucket, const Key& x, Value v) {
-    assert(!slots_.empty() && bucket == bucket_of(x));
+    assert(!slots_.empty() && bucket == token_of(x));
     assert(size_ + 1 <= slots_.size() - slots_.size() / 4 &&
            "flat_hash::emplace_prehashed: table would need to grow");
-    std::size_t i = bucket;
-    while (slots_[i].used) {
-      assert(!(slots_[i].key == x) && "flat_hash::emplace_prehashed: key already present");
-      i = next(i);
-    }
-    place(i, x, v);
+    assert(find_index(bucket, x) == knpos && "flat_hash::emplace_prehashed: key already present");
+    const std::size_t i = first_empty(bucket);
+    place(i, bucket, x, v);
     return i;
   }
 
-  /// Prefetches a home slot by bucket() value.
+  /// Prefetches a home slot (control byte + slot) by bucket() token.
   void prefetch_bucket(std::size_t bucket) const noexcept {
-    __builtin_prefetch(&slots_[bucket]);
+    const std::size_t i = bucket & mask_;
+    __builtin_prefetch(ctrl_.data() + i);
+    __builtin_prefetch(&slots_[i]);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -192,20 +206,42 @@ class flat_hash {
   /// Slot-array size (a power of two; 0 before the first insert/reserve).
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Probe-length / occupancy introspection: max and mean probe distance
+  /// over the live entries plus the load factor. O(capacity); a monitoring
+  /// call, not a hot-path one.
+  [[nodiscard]] flat_hash_stats stats() const {
+    flat_hash_stats st;
+    st.size = size_;
+    st.capacity = slots_.size();
+    if (slots_.empty()) return st;
+    st.load_factor = static_cast<double>(size_) / static_cast<double>(slots_.size());
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!is_used(i)) continue;
+      const std::size_t dist = (i - (token_of(slots_[i].key) & mask_)) & mask_;
+      total += dist;
+      if (dist > st.max_probe) st.max_probe = dist;
+    }
+    if (size_ > 0) st.mean_probe = static_cast<double>(total) / static_cast<double>(size_);
+    return st;
+  }
+
   // --- snapshot support ------------------------------------------------------
   // The table is serialized by EXACT slot layout, not as a key/value bag:
   // slot positions feed back into behavior (Space-Saving keeps islot
   // back-references; for_each order is slot order, and through it candidate
   // iteration order), so a restored table must probe, iterate and relocate
   // exactly like the original - the bit-identical-continuation guarantee of
-  // the snapshot layer rests on it.
+  // the snapshot layer rests on it. The control array is derived state
+  // (rebuilt from the keys), so the wire format is unchanged from the
+  // scalar-probe era and snapshots cross dispatch tiers freely.
 
   /// Invokes fn(slot_pos, key, value) for every entry in slot order. Used by
   /// restore-side cross-checks (e.g. Space-Saving's islot validation).
   template <typename Fn>
   void for_each_slot(Fn&& fn) const {
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i].used) fn(i, slots_[i].key, slots_[i].value);
+      if (is_used(i)) fn(i, slots_[i].key, slots_[i].value);
     }
   }
 
@@ -214,7 +250,7 @@ class flat_hash {
     w.varint(slots_.size());
     w.varint(size_);
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (!slots_[i].used) continue;
+      if (!is_used(i)) continue;
       w.varint(i);
       wire::codec<Key>::put(w, slots_[i].key);
       w.varint(static_cast<std::uint64_t>(slots_[i].value));
@@ -229,6 +265,7 @@ class flat_hash {
   /// a table that crashes later.
   [[nodiscard]] bool restore(wire::reader& r) {
     slots_.clear();
+    ctrl_.clear();
     mask_ = 0;
     size_ = 0;
     std::uint64_t cap = 0, count = 0;
@@ -240,6 +277,7 @@ class flat_hash {
     // (pos + 8-byte key + value); reject lying counts before allocating.
     if (count * 10 > r.remaining()) return false;
     slots_.assign(static_cast<std::size_t>(cap), slot{});
+    ctrl_.assign(static_cast<std::size_t>(cap) + kCtrlPad, simd::kCtrlEmpty);
     mask_ = static_cast<std::size_t>(cap) - 1;
     std::uint64_t prev_pos = 0;
     for (std::uint64_t n = 0; n < count; ++n) {
@@ -249,17 +287,17 @@ class flat_hash {
       if (pos >= cap || (n > 0 && pos <= prev_pos)) return false;
       if (value > std::numeric_limits<Value>::max()) return false;
       prev_pos = pos;
-      place(static_cast<std::size_t>(pos), key, static_cast<Value>(value));
+      place(static_cast<std::size_t>(pos), token_of(key), key, static_cast<Value>(value));
     }
     // Probe-reachability: every entry must be findable by walking from its
     // home bucket through used slots. Rejecting here keeps find()'s "empty
     // slot terminates the probe" invariant true for restored tables.
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (!slots_[i].used) continue;
-      std::size_t walk = bucket_of(slots_[i].key);
+      if (!is_used(i)) continue;
+      std::size_t walk = token_of(slots_[i].key) & mask_;
       std::size_t steps = 0;
       while (walk != i) {
-        if (!slots_[walk].used || ++steps > size_) {
+        if (!is_used(walk) || ++steps > size_) {
           clear();
           return false;
         }
@@ -276,45 +314,192 @@ class flat_hash {
   /// cap also bounds the transient allocation a malicious tiny payload can
   /// trigger before rejection (~50 MB of slots at 2^21).
   static constexpr std::size_t kMaxRestoreCapacity = std::size_t{1} << 21;
+  /// Wraparound mirror after the control array: a group load starting at the
+  /// last slot still reads (widest group - 1) = 31 in-bounds bytes. The
+  /// mirror replicates the array's head, so group probes need no bounds
+  /// logic; set_ctrl keeps it coherent.
+  static constexpr std::size_t kCtrlPad = 31;
+  static constexpr std::size_t knpos = std::numeric_limits<std::size_t>::max();
 
   struct slot {
     Key key{};
     Value value{};
-    bool used = false;
   };
 
-  /// mix64 finalizer on top of Hash: full-avalanche high and low bits, so
-  /// masking to a power of two is safe even for identity hashes.
-  [[nodiscard]] std::size_t bucket_of(const Key& x) const noexcept {
-    return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(Hash{}(x)))) & mask_;
+  /// mix64 finalizer on top of Hash: the probe token. Low bits (masked)
+  /// select the home bucket; the top 7 bits are the control tag - disjoint
+  /// bit ranges for any realistic capacity, so the tag adds entropy the
+  /// bucket does not already spend.
+  [[nodiscard]] std::uint64_t token_of(const Key& x) const noexcept {
+    return mix64(static_cast<std::uint64_t>(Hash{}(x)));
+  }
+
+  /// Control tag of a token: top 7 bits, always in [0, 0x80) - never the
+  /// empty sentinel.
+  [[nodiscard]] static std::uint8_t h2(std::uint64_t token) noexcept {
+    return static_cast<std::uint8_t>(token >> 57);
+  }
+
+  [[nodiscard]] bool is_used(std::size_t i) const noexcept {
+    return ctrl_[i] != simd::kCtrlEmpty;
   }
 
   [[nodiscard]] std::size_t next(std::size_t i) const noexcept { return (i + 1) & mask_; }
+
+  /// Writes a control byte, replicating into the wraparound mirror.
+  void set_ctrl(std::size_t i, std::uint8_t v) noexcept {
+    ctrl_[i] = v;
+    const std::size_t cap = slots_.size();
+    for (std::size_t p = i + cap; p < cap + kCtrlPad; p += cap) ctrl_[p] = v;
+  }
+
+  // --- probe kernels ---------------------------------------------------------
+  // One probe algorithm, three bodies. All walk the same linear probe
+  // sequence and stop at the first empty control byte; the group variants
+  // just inspect 16/32 candidates per load. Tag (H2) collisions cost one
+  // key comparison and nothing else, so every tier returns the same slot.
+
+  /// Slot index of x, or knpos. The home slot settles most probes at load
+  /// <= 3/4 (measured mean probe distance ~0.1), so it is checked directly
+  /// before any group machinery spins up - vector setup per lookup costs
+  /// more than it saves on a probe chain of length zero. Misses dispatch on
+  /// the active tier; group probes need the group to fit the table
+  /// (capacity >= width), which only excludes toy tables below the
+  /// constructor floor of real sketches. Every path starts probing at the
+  /// home slot, so the shortcut cannot change the answer.
+  [[nodiscard]] std::size_t find_index(std::uint64_t token, const Key& x) const noexcept {
+    const std::size_t home = token & mask_;
+    const std::uint8_t c = ctrl_[home];
+    if (c == h2(token) && slots_[home].key == x) return home;
+    if (c == simd::kCtrlEmpty) return knpos;
+#if MEMENTO_SIMD_X86
+    const simd::tier t = simd::active();
+    if (t >= simd::tier::avx2 && slots_.size() >= 32) return find_avx2(token, x);
+    if (t >= simd::tier::sse2 && slots_.size() >= 16) return find_sse2(token, x);
+#endif
+    return find_scalar(token, x);
+  }
+
+  /// First empty slot in probe order from the token's home bucket. The
+  /// insert position - identical across tiers by the same argument as
+  /// find_index (including the home-slot shortcut).
+  [[nodiscard]] std::size_t first_empty(std::uint64_t token) const noexcept {
+    const std::size_t home = token & mask_;
+    if (!is_used(home)) return home;
+#if MEMENTO_SIMD_X86
+    const simd::tier t = simd::active();
+    if (t >= simd::tier::avx2 && slots_.size() >= 32) return first_empty_avx2(token);
+    if (t >= simd::tier::sse2 && slots_.size() >= 16) return first_empty_sse2(token);
+#endif
+    std::size_t i = home;
+    while (is_used(i)) i = next(i);
+    return i;
+  }
+
+  /// The scalar oracle: linear probe with the control byte doing double duty
+  /// as the empty test and the tag prefilter (same compare count as the SIMD
+  /// path, one slot at a time).
+  [[nodiscard]] std::size_t find_scalar(std::uint64_t token, const Key& x) const noexcept {
+    const std::uint8_t tag = h2(token);
+    for (std::size_t i = token & mask_;; i = next(i)) {
+      const std::uint8_t c = ctrl_[i];
+      if (c == tag && slots_[i].key == x) return i;
+      if (c == simd::kCtrlEmpty) return knpos;
+    }
+  }
+
+#if MEMENTO_SIMD_X86
+  [[nodiscard]] std::size_t find_sse2(std::uint64_t token, const Key& x) const noexcept {
+    const std::uint8_t tag = h2(token);
+    std::size_t i = token & mask_;
+    while (true) {
+      const auto g = simd::group16::load(ctrl_.data() + i);
+      std::uint32_t match = g.match(tag);
+      const std::uint32_t empty = g.match_empty();
+      if (empty) match &= empty - 1;  // candidates past the first empty are dead
+      while (match) {
+        const std::size_t idx = (i + static_cast<std::size_t>(__builtin_ctz(match))) & mask_;
+        if (slots_[idx].key == x) return idx;
+        match &= match - 1;
+      }
+      if (empty) return knpos;
+      i = (i + simd::group16::width) & mask_;
+    }
+  }
+
+  [[nodiscard]] std::size_t first_empty_sse2(std::uint64_t token) const noexcept {
+    std::size_t i = token & mask_;
+    while (true) {
+      const std::uint32_t empty = simd::group16::load(ctrl_.data() + i).match_empty();
+      if (empty) return (i + static_cast<std::size_t>(__builtin_ctz(empty))) & mask_;
+      i = (i + simd::group16::width) & mask_;
+    }
+  }
+
+  MEMENTO_TARGET_AVX2 [[nodiscard]] std::size_t find_avx2(std::uint64_t token,
+                                                          const Key& x) const noexcept {
+    const __m256i tagv = _mm256_set1_epi8(static_cast<char>(h2(token)));
+    const __m256i emptyv = _mm256_set1_epi8(static_cast<char>(simd::kCtrlEmpty));
+    std::size_t i = token & mask_;
+    while (true) {
+      const __m256i g =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ctrl_.data() + i));
+      std::uint32_t match =
+          static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(g, tagv)));
+      const std::uint32_t empty =
+          static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(g, emptyv)));
+      if (empty) match &= empty - 1;
+      while (match) {
+        const std::size_t idx = (i + static_cast<std::size_t>(__builtin_ctz(match))) & mask_;
+        if (slots_[idx].key == x) return idx;
+        match &= match - 1;
+      }
+      if (empty) return knpos;
+      i = (i + 32) & mask_;
+    }
+  }
+
+  MEMENTO_TARGET_AVX2 [[nodiscard]] std::size_t first_empty_avx2(
+      std::uint64_t token) const noexcept {
+    const __m256i emptyv = _mm256_set1_epi8(static_cast<char>(simd::kCtrlEmpty));
+    std::size_t i = token & mask_;
+    while (true) {
+      const __m256i g =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ctrl_.data() + i));
+      const std::uint32_t empty =
+          static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(g, emptyv)));
+      if (empty) return (i + static_cast<std::size_t>(__builtin_ctz(empty))) & mask_;
+      i = (i + 32) & mask_;
+    }
+  }
+#endif  // MEMENTO_SIMD_X86
 
   /// Shared backward-shift deletion tail: pos holds the doomed entry.
   template <typename MoveFn>
   void erase_slot(std::size_t pos, MoveFn&& on_move) {
     std::size_t hole = pos;
-    for (std::size_t i = next(hole); slots_[i].used; i = next(i)) {
+    for (std::size_t i = next(hole); is_used(i); i = next(i)) {
       // Entry at i may fill the hole iff its home bucket is not inside the
       // circular interval (hole, i] - i.e. probing for it still reaches i's
       // chain through `hole`. Distance arithmetic handles the wraparound.
-      const std::size_t home = bucket_of(slots_[i].key);
+      const std::size_t home = token_of(slots_[i].key) & mask_;
       if (((i - home) & mask_) >= ((i - hole) & mask_)) {
         slots_[hole].key = std::move(slots_[i].key);
         slots_[hole].value = slots_[i].value;
+        set_ctrl(hole, ctrl_[i]);  // the tag travels with the key
         on_move(slots_[hole].value, hole);
         hole = i;
       }
     }
     slots_[hole] = slot{};
+    set_ctrl(hole, simd::kCtrlEmpty);
     --size_;
   }
 
-  void place(std::size_t i, const Key& x, Value v) {
+  void place(std::size_t i, std::uint64_t token, const Key& x, Value v) {
     slots_[i].key = x;
     slots_[i].value = v;
-    slots_[i].used = true;
+    set_ctrl(i, h2(token));
     ++size_;
   }
 
@@ -328,19 +513,31 @@ class flat_hash {
 
   void rehash(std::size_t new_capacity) {
     std::vector<slot> old = std::move(slots_);
+    std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
     slots_.assign(new_capacity, slot{});
+    ctrl_.assign(new_capacity + kCtrlPad, simd::kCtrlEmpty);
     mask_ = new_capacity - 1;
-    for (slot& s : old) {
-      if (!s.used) continue;
-      std::size_t i = bucket_of(s.key);
-      while (slots_[i].used) i = next(i);
-      slots_[i].key = std::move(s.key);
-      slots_[i].value = s.value;
-      slots_[i].used = true;
+    const std::size_t moved = size_;
+    size_ = 0;
+    for (std::size_t i = 0; i < old.size(); ++i) {
+      if (old_ctrl[i] == simd::kCtrlEmpty) continue;
+      const std::uint64_t token = token_of(old[i].key);
+      place(first_empty(token), token, std::move(old[i].key), old[i].value);
     }
+    assert(size_ == moved);
+    (void)moved;
+  }
+
+  // place() overload used by rehash (moves the key).
+  void place(std::size_t i, std::uint64_t token, Key&& x, Value v) {
+    slots_[i].key = std::move(x);
+    slots_[i].value = v;
+    set_ctrl(i, h2(token));
+    ++size_;
   }
 
   std::vector<slot> slots_;
+  std::vector<std::uint8_t> ctrl_;  ///< H2 tags / empty sentinels + mirror
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
 };

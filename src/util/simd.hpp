@@ -1,0 +1,359 @@
+// Runtime ISA dispatch and the SIMD kernels under the hot-path containers.
+//
+// Everything vectorized in this repository funnels through this header so
+// that exactly one mechanism decides which instruction set runs:
+//
+//   * `detect()` probes the host once (SSE2 is the x86-64 baseline, AVX2 via
+//     cpuid) and can be *clamped down* with the MEMENTO_ISA environment
+//     variable (scalar|sse2|avx2) - the CI scalar-dispatch leg runs the full
+//     differential suites with MEMENTO_ISA=scalar and zero rebuilds;
+//   * `force()` / `scoped_tier` override the dispatch programmatically (never
+//     above what the host supports) so differential tests can drive the SAME
+//     binary through every kernel family and compare save() bytes;
+//   * builds with -march=native / -mavx2 (MEMENTO_NATIVE) statically know
+//     AVX2 is available and skip the cpuid, but still honor overrides - the
+//     widest path is the default, not the only path.
+//
+// The kernels themselves are deliberately small and total:
+//
+//   * byte-group probing primitives (16-wide SSE2, 32-wide AVX2) for
+//     flat_hash's SwissTable-style control array;
+//   * contiguous-u64 scans (threshold visit, min+argmin, running suffix max)
+//     for space_saving's counter vectors and the two-stacks window aggregate.
+//
+// Every kernel has a scalar twin here with identical observable behavior
+// (same visit order, same tie-breaks); the differential suites in
+// tests/simd_test.cpp, tests/flat_hash_test.cpp and tests/batch_test.cpp pin
+// the equivalence per dispatch tier, down to save() byte identity.
+//
+// AVX2 bodies carry __attribute__((target("avx2"))) so this header compiles
+// - and the scalar/SSE2 tiers keep working - on baseline x86-64 builds; the
+// attribute is dropped when the TU is already compiled with AVX2 enabled so
+// the kernels can inline into MEMENTO_NATIVE builds.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define MEMENTO_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define MEMENTO_SIMD_X86 0
+#endif
+
+#if MEMENTO_SIMD_X86 && !defined(__AVX2__)
+#define MEMENTO_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define MEMENTO_TARGET_AVX2
+#endif
+
+namespace memento::simd {
+
+/// Kernel families, widest last. A tier implies every tier below it, so
+/// comparisons read naturally: `active() >= tier::sse2`.
+enum class tier : int { scalar = 0, sse2 = 1, avx2 = 2 };
+
+[[nodiscard]] constexpr const char* tier_name(tier t) noexcept {
+  switch (t) {
+    case tier::scalar: return "scalar";
+    case tier::sse2: return "sse2";
+    case tier::avx2: return "avx2";
+  }
+  return "scalar";
+}
+
+namespace detail {
+
+inline std::atomic<int> g_detected{-1};  ///< lazily computed, idempotent
+inline std::atomic<int> g_forced{-1};    ///< -1: no override
+
+[[nodiscard]] inline tier detect_host() noexcept {
+#if MEMENTO_SIMD_X86
+#if defined(__AVX2__)
+  tier host = tier::avx2;  // the build already requires it (MEMENTO_NATIVE)
+#else
+  tier host = __builtin_cpu_supports("avx2") ? tier::avx2 : tier::sse2;
+#endif
+#else
+  tier host = tier::scalar;
+#endif
+  // MEMENTO_ISA clamps the detected tier DOWN (never up - running AVX2 code
+  // on a host without it would fault). Unknown values are ignored.
+  if (const char* env = std::getenv("MEMENTO_ISA")) {
+    tier cap = host;
+    if (std::strcmp(env, "scalar") == 0) cap = tier::scalar;
+    if (std::strcmp(env, "sse2") == 0) cap = tier::sse2;
+    if (std::strcmp(env, "avx2") == 0) cap = tier::avx2;
+    if (cap < host) host = cap;
+  }
+  return host;
+}
+
+}  // namespace detail
+
+/// Widest tier this host (and MEMENTO_ISA) allows. Computed once.
+[[nodiscard]] inline tier detect() noexcept {
+  int d = detail::g_detected.load(std::memory_order_relaxed);
+  if (d < 0) {
+    d = static_cast<int>(detail::detect_host());
+    detail::g_detected.store(d, std::memory_order_relaxed);
+  }
+  return static_cast<tier>(d);
+}
+
+/// The tier hot paths dispatch on: the forced override if set, else detect().
+[[nodiscard]] inline tier active() noexcept {
+  const int f = detail::g_forced.load(std::memory_order_relaxed);
+  return f >= 0 ? static_cast<tier>(f) : detect();
+}
+
+/// Forces dispatch to `t` (clamped to what the host supports). Test hook.
+inline void force(tier t) noexcept {
+  if (t > detect()) t = detect();
+  detail::g_forced.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+/// Removes the force() override; dispatch returns to detect().
+inline void clear_force() noexcept {
+  detail::g_forced.store(-1, std::memory_order_relaxed);
+}
+
+/// RAII dispatch override for differential tests: force a tier for one
+/// scope, restore the previous override on exit.
+class scoped_tier {
+ public:
+  explicit scoped_tier(tier t) noexcept
+      : previous_(detail::g_forced.load(std::memory_order_relaxed)) {
+    force(t);
+  }
+  ~scoped_tier() { detail::g_forced.store(previous_, std::memory_order_relaxed); }
+  scoped_tier(const scoped_tier&) = delete;
+  scoped_tier& operator=(const scoped_tier&) = delete;
+
+ private:
+  int previous_;
+};
+
+// --- byte-group probing ------------------------------------------------------
+// flat_hash keeps a parallel 1-byte control array (7-bit H2 tag per used
+// slot, kCtrlEmpty sentinel otherwise). A group is W consecutive control
+// bytes loaded unaligned; match() returns a bitmask (bit j = byte j matches)
+// so a probe inspects W slots with one load + compare + movemask. Bit order
+// equals probe order, which is what keeps SIMD and scalar probes choosing
+// identical slots.
+
+/// Control byte for an unoccupied slot. H2 tags occupy [0, 0x80).
+inline constexpr std::uint8_t kCtrlEmpty = 0x80;
+
+#if MEMENTO_SIMD_X86
+
+/// 16-byte control group (SSE2 - unconditionally available on x86-64).
+struct group16 {
+  static constexpr std::size_t width = 16;
+  __m128i v;
+
+  [[nodiscard]] static group16 load(const std::uint8_t* p) noexcept {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  [[nodiscard]] std::uint32_t match(std::uint8_t byte) const noexcept {
+    const __m128i m = _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(byte)));
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(m));
+  }
+  [[nodiscard]] std::uint32_t match_empty() const noexcept { return match(kCtrlEmpty); }
+};
+
+#endif  // MEMENTO_SIMD_X86
+
+// --- contiguous u64 scans ----------------------------------------------------
+// The scalar bodies are the oracles; the AVX2 bodies must visit the same
+// indices in the same order and break ties identically (first index wins).
+// SSE2 lacks 64-bit compares, so the u64 scans have exactly two families:
+// scalar (tiers scalar/sse2) and AVX2.
+
+/// Visits fn(i) for every i < n with v[i] >= bar, in ascending order.
+template <typename Fn>
+void scan_ge_u64(const std::uint64_t* v, std::size_t n, std::uint64_t bar, Fn&& fn);
+
+/// Minimum value and the FIRST index attaining it; n must be >= 1.
+[[nodiscard]] inline std::pair<std::uint64_t, std::size_t> min_scan_u64(const std::uint64_t* v,
+                                                                        std::size_t n);
+
+/// Running suffix maximum: dst[i] = max(src[i], src[i+1], ..., src[n-1]).
+/// src and dst must not alias. The two-stacks window aggregate's flip.
+inline void suffix_max_u64(const std::uint64_t* src, std::uint64_t* dst, std::size_t n);
+
+namespace detail {
+
+template <typename Fn>
+void scan_ge_u64_scalar(const std::uint64_t* v, std::size_t n, std::uint64_t bar, Fn&& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] >= bar) fn(i);
+  }
+}
+
+[[nodiscard]] inline std::pair<std::uint64_t, std::size_t> min_scan_u64_scalar(
+    const std::uint64_t* v, std::size_t n) {
+  std::uint64_t best = v[0];
+  std::size_t at = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < best) {
+      best = v[i];
+      at = i;
+    }
+  }
+  return {best, at};
+}
+
+inline void suffix_max_u64_scalar(const std::uint64_t* src, std::uint64_t* dst, std::size_t n) {
+  std::uint64_t running = 0;
+  for (std::size_t i = n; i-- > 0;) {
+    if (src[i] > running) running = src[i];
+    dst[i] = running;
+  }
+}
+
+#if MEMENTO_SIMD_X86
+
+/// Sign-bias for unsigned 64-bit comparison via the signed pcmpgtq.
+inline constexpr std::int64_t kBias64 = static_cast<std::int64_t>(0x8000'0000'0000'0000ull);
+
+/// 4-bit mask (bit = lane) of lanes where a >= bar, unsigned.
+MEMENTO_TARGET_AVX2 [[nodiscard]] inline std::uint32_t ge_mask_epu64(__m256i a,
+                                                                     __m256i bar_biased) noexcept {
+  const __m256i ab = _mm256_xor_si256(a, _mm256_set1_epi64x(kBias64));
+  // a >= bar  <=>  !(bar > a), signed on biased values.
+  const __m256i lt = _mm256_cmpgt_epi64(bar_biased, ab);
+  return static_cast<std::uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(lt))) ^ 0xFu;
+}
+
+template <typename Fn>
+MEMENTO_TARGET_AVX2 void scan_ge_u64_avx2(const std::uint64_t* v, std::size_t n,
+                                          std::uint64_t bar, Fn&& fn) {
+  const __m256i bar_biased =
+      _mm256_set1_epi64x(static_cast<std::int64_t>(bar) ^ kBias64);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    std::uint32_t m = ge_mask_epu64(a, bar_biased);
+    while (m) {
+      fn(i + static_cast<std::size_t>(__builtin_ctz(m)));
+      m &= m - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] >= bar) fn(i);
+  }
+}
+
+MEMENTO_TARGET_AVX2 [[nodiscard]] inline std::pair<std::uint64_t, std::size_t> min_scan_u64_avx2(
+    const std::uint64_t* v, std::size_t n) {
+  if (n < 8) return min_scan_u64_scalar(v, n);
+  const __m256i bias = _mm256_set1_epi64x(kBias64);
+  __m256i best = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i lt = _mm256_cmpgt_epi64(_mm256_xor_si256(best, bias),
+                                          _mm256_xor_si256(a, bias));
+    best = _mm256_blendv_epi8(best, a, lt);
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+  std::uint64_t m = lanes[0];
+  for (int l = 1; l < 4; ++l) {
+    if (lanes[l] < m) m = lanes[l];
+  }
+  for (; i < n; ++i) {
+    if (v[i] < m) m = v[i];
+  }
+  // Second pass: FIRST index holding the minimum (the scalar tie-break).
+  const __m256i mv = _mm256_set1_epi64x(static_cast<std::int64_t>(m));
+  for (std::size_t j = 0; j + 4 <= n; j += 4) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + j));
+    const std::uint32_t eq = static_cast<std::uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(a, mv))));
+    if (eq) return {m, j + static_cast<std::size_t>(__builtin_ctz(eq))};
+  }
+  for (std::size_t j = n & ~std::size_t{3}; j < n; ++j) {
+    if (v[j] == m) return {m, j};
+  }
+  return {m, n};  // unreachable: m was observed in v
+}
+
+MEMENTO_TARGET_AVX2 [[nodiscard]] inline __m256i max_epu64_avx2(__m256i a, __m256i b) noexcept {
+  const __m256i bias = _mm256_set1_epi64x(kBias64);
+  const __m256i gt =
+      _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias), _mm256_xor_si256(b, bias));
+  return _mm256_blendv_epi8(b, a, gt);
+}
+
+MEMENTO_TARGET_AVX2 inline void suffix_max_u64_avx2(const std::uint64_t* src, std::uint64_t* dst,
+                                                    std::size_t n) {
+  // Tail (n % 4) first, right to left, establishing the carry.
+  std::uint64_t carry = 0;
+  std::size_t i = n;
+  while (i & 3) {
+    --i;
+    if (src[i] > carry) carry = src[i];
+    dst[i] = carry;
+  }
+  // Whole blocks of 4, right to left. In-register suffix max via two
+  // lane-shift + max steps (identity 0 fills vacated lanes), then fold in
+  // the carry from everything to the right of the block.
+  const __m256i zero = _mm256_setzero_si256();
+  while (i) {
+    i -= 4;
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // step 1: lane j gains lane j+1 (lane 3 gains identity).
+    __m256i s1 = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(3, 3, 2, 1));
+    s1 = _mm256_blend_epi32(s1, zero, 0b11000000);
+    __m256i m = max_epu64_avx2(x, s1);
+    // step 2: lane j gains lanes j+2.. (lanes 2,3 gain identity).
+    __m256i s2 = _mm256_permute4x64_epi64(m, _MM_SHUFFLE(3, 3, 3, 2));
+    s2 = _mm256_blend_epi32(s2, zero, 0b11110000);
+    m = max_epu64_avx2(m, s2);
+    m = max_epu64_avx2(m, _mm256_set1_epi64x(static_cast<std::int64_t>(carry)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), m);
+    carry = dst[i];
+  }
+}
+
+#endif  // MEMENTO_SIMD_X86
+
+}  // namespace detail
+
+template <typename Fn>
+void scan_ge_u64(const std::uint64_t* v, std::size_t n, std::uint64_t bar, Fn&& fn) {
+#if MEMENTO_SIMD_X86
+  if (active() >= tier::avx2 && n >= 4) {
+    detail::scan_ge_u64_avx2(v, n, bar, std::forward<Fn>(fn));
+    return;
+  }
+#endif
+  detail::scan_ge_u64_scalar(v, n, bar, std::forward<Fn>(fn));
+}
+
+[[nodiscard]] inline std::pair<std::uint64_t, std::size_t> min_scan_u64(const std::uint64_t* v,
+                                                                        std::size_t n) {
+#if MEMENTO_SIMD_X86
+  if (active() >= tier::avx2) return detail::min_scan_u64_avx2(v, n);
+#endif
+  return detail::min_scan_u64_scalar(v, n);
+}
+
+inline void suffix_max_u64(const std::uint64_t* src, std::uint64_t* dst, std::size_t n) {
+#if MEMENTO_SIMD_X86
+  if (active() >= tier::avx2 && n >= 4) {
+    detail::suffix_max_u64_avx2(src, dst, n);
+    return;
+  }
+#endif
+  detail::suffix_max_u64_scalar(src, dst, n);
+}
+
+}  // namespace memento::simd

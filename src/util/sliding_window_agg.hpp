@@ -1,0 +1,112 @@
+// Two-stacks sliding-window aggregation (the HammerSlide shape
+// [Theodorakis et al., ADMS 2018]; the functional-queue trick goes back to
+// Okasaki): O(1) amortized push/pop/query over a window of the last N
+// values for any associative operator, no per-element allocation.
+//
+// The queue is two stacks. The back stack is just the incoming values plus
+// one running aggregate of all of them. The front stack holds outgoing
+// values as a SUFFIX-aggregate array: front_agg_[i] = op(v_i, .., v_last),
+// so evicting the oldest is a cursor bump and the front's current aggregate
+// is one array read. When the front empties, the back is flipped into a
+// fresh suffix array - the only O(n) moment, amortized O(1) because every
+// element flips once. That flip is one right-to-left scan over a contiguous
+// buffer, which is exactly the shape util/simd.hpp's suffix kernels
+// vectorize (suffix_max_u64 for the max-aggregate used here); any other
+// associative op runs the scalar flip.
+//
+// memento_sketch uses max_window<uint64_t> over per-block overflow-append
+// counts: query() is the peak per-block overflow pressure across the last k
+// completed blocks - the window-burstiness signal surfaced alongside the
+// probe stats. Introspection state, not sketch state: it is NOT serialized
+// (restore() starts a fresh window) and never feeds back into answers.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace memento {
+
+/// Associative max over std::uint64_t with a SIMD suffix flip.
+struct agg_max_u64 {
+  static std::uint64_t identity() noexcept { return 0; }
+  std::uint64_t operator()(std::uint64_t a, std::uint64_t b) const noexcept {
+    return a > b ? a : b;
+  }
+  /// dst[i] = max(src[i..n-1]); dispatched in util/simd.hpp.
+  static void suffix(const std::uint64_t* src, std::uint64_t* dst, std::size_t n) {
+    simd::suffix_max_u64(src, dst, n);
+  }
+};
+
+/// Fixed-size two-stacks window over the last `window` pushed values.
+/// Op must provide identity(), operator()(T, T) (associative), and
+/// suffix(const T*, T*, n) computing the right-to-left inclusive scan.
+template <typename T, typename Op = agg_max_u64>
+class two_stacks_window {
+ public:
+  explicit two_stacks_window(std::size_t window) : window_(window) {
+    assert(window >= 1);
+    back_.reserve(window);
+    front_agg_.reserve(window);
+  }
+
+  /// Appends v; evicts the oldest value first when the window is full.
+  void push(T v) {
+    if (size() == window_) pop();
+    back_.push_back(v);
+    back_agg_ = back_.size() == 1 ? v : Op{}(back_agg_, v);
+  }
+
+  /// Aggregate of every value currently in the window (identity when empty).
+  [[nodiscard]] T query() const noexcept {
+    const T front = front_pos_ < front_agg_.size() ? front_agg_[front_pos_] : Op::identity();
+    const T back = back_.empty() ? Op::identity() : back_agg_;
+    return Op{}(front, back);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return (front_agg_.size() - front_pos_) + back_.size();
+  }
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Drops every value; the window length is retained.
+  void clear() noexcept {
+    back_.clear();
+    front_agg_.clear();
+    front_pos_ = 0;
+    back_agg_ = Op::identity();
+  }
+
+ private:
+  /// Removes the oldest value. Flips the back stack into a fresh
+  /// suffix-aggregate front when the front is exhausted - the amortized-O(1)
+  /// moment, vectorized by Op::suffix.
+  void pop() {
+    assert(size() > 0);
+    if (front_pos_ >= front_agg_.size()) {
+      front_agg_.resize(back_.size());
+      Op::suffix(back_.data(), front_agg_.data(), back_.size());
+      back_.clear();
+      back_agg_ = Op::identity();
+      front_pos_ = 0;
+    }
+    ++front_pos_;
+  }
+
+  std::size_t window_;
+  std::vector<T> back_;         ///< incoming values, newest last
+  T back_agg_ = Op::identity();  ///< op over all of back_
+  std::vector<T> front_agg_;    ///< suffix aggregates of the flipped values
+  std::size_t front_pos_ = 0;   ///< consumed prefix of front_agg_
+};
+
+/// The window the sketches use: peak uint64 over the last `window` values.
+using max_window_u64 = two_stacks_window<std::uint64_t, agg_max_u64>;
+
+}  // namespace memento

@@ -16,6 +16,8 @@
 #include "hierarchy/prefix1d.hpp"
 #include "trace/trace_generator.hpp"
 #include "util/random.hpp"
+#include "util/simd.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 namespace {
@@ -168,6 +170,107 @@ TEST(BatchEquivalence, EmptyAndSingleElementBatches) {
   batched.update_batch(ids.data(), 0);  // no-op
   for (const auto id : ids) batched.update_batch(&id, 1);
   expect_identical(scalar, batched);
+}
+
+// --- SIMD dispatch differentials ---------------------------------------------
+// The whole-sketch version of the flat_hash tier differentials: the same
+// trace through sketches running under different dispatch tiers must
+// produce identical observables AND identical save() bytes - the SIMD
+// probes/scans may only change speed, never state.
+
+std::vector<std::uint8_t> sketch_bytes(const sketch& s) {
+  wire::writer w;
+  s.save(w);
+  return w.data();
+}
+
+std::vector<simd::tier> host_tiers() {
+  std::vector<simd::tier> out{simd::tier::scalar};
+  if (simd::detect() >= simd::tier::sse2) out.push_back(simd::tier::sse2);
+  if (simd::detect() >= simd::tier::avx2) out.push_back(simd::tier::avx2);
+  return out;
+}
+
+TEST(BatchSimd, EveryTierProducesIdenticalSketchState) {
+  const auto ids = skewed_ids(6000, 21);
+  for (const double tau : {1.0, 1.0 / 16}) {
+    std::vector<std::uint8_t> scalar_bytes;
+    {
+      simd::scoped_tier guard(simd::tier::scalar);
+      sketch s(1000, 8, tau, /*seed=*/13);
+      s.update_batch(ids.data(), ids.size());
+      scalar_bytes = sketch_bytes(s);
+    }
+    for (const simd::tier t : host_tiers()) {
+      if (t == simd::tier::scalar) continue;
+      simd::scoped_tier guard(t);
+      sketch s(1000, 8, tau, /*seed=*/13);
+      s.update_batch(ids.data(), ids.size());
+      EXPECT_EQ(sketch_bytes(s), scalar_bytes)
+          << "tau=" << tau << " tier=" << simd::tier_name(t);
+    }
+  }
+}
+
+TEST(BatchSimd, SimdBuiltSketchContinuesIdenticallyUnderScalar) {
+  // Build half the stream under the widest tier, snapshot, restore under
+  // scalar and finish; a sketch that never left scalar must match byte for
+  // byte. This is the cross-tier migration story: snapshots carry no
+  // tier-dependent state.
+  const auto ids = skewed_ids(6000, 77);
+  const std::size_t half = ids.size() / 2;
+
+  std::vector<std::uint8_t> reference;
+  {
+    simd::scoped_tier guard(simd::tier::scalar);
+    sketch s(1000, 8, 1.0, /*seed=*/31);
+    s.update_batch(ids.data(), ids.size());
+    reference = sketch_bytes(s);
+  }
+
+  std::vector<std::uint8_t> image;
+  {
+    simd::scoped_tier guard(simd::detect());
+    sketch s(1000, 8, 1.0, /*seed=*/31);
+    s.update_batch(ids.data(), half);
+    image = sketch_bytes(s);
+  }
+  {
+    simd::scoped_tier guard(simd::tier::scalar);
+    wire::reader r(image);
+    auto restored = sketch::restore(r);
+    ASSERT_TRUE(restored.has_value());
+    restored->update_batch(ids.data() + half, ids.size() - half);
+    EXPECT_EQ(sketch_bytes(*restored), reference);
+  }
+}
+
+TEST(BatchSimd, OverflowPeakWindowTracksBursts) {
+  // tau=1, threshold = W/k: the overflow-peak introspection must see at
+  // least one append per completed block on a skewed trace, and the peak is
+  // bounded by the heaviest block's append count.
+  sketch s(1000, 8, 1.0, /*seed=*/3);
+  const auto ids = skewed_ids(5000, 55);
+  s.update_batch(ids.data(), ids.size());
+  EXPECT_GT(s.block_overflow_peak(), 0u);
+  // The scalar and batch paths account appends identically.
+  sketch scalar(1000, 8, 1.0, /*seed=*/3);
+  for (const auto id : ids) scalar.update(id);
+  EXPECT_EQ(scalar.block_overflow_peak(), s.block_overflow_peak());
+  EXPECT_EQ(scalar.block_overflow_appends(), s.block_overflow_appends());
+}
+
+TEST(BatchSimd, ProbeStatsAreExposedThroughTheSketch) {
+  sketch s(1000, 8, 1.0, /*seed=*/3);
+  const auto ids = skewed_ids(3000, 91);
+  s.update_batch(ids.data(), ids.size());
+  const flat_hash_stats idx = s.counter_index_stats();
+  EXPECT_GT(idx.capacity, 0u);
+  EXPECT_LE(idx.size, s.counters()) << "index holds at most k monitored keys";
+  EXPECT_LE(idx.mean_probe, static_cast<double>(idx.max_probe));
+  const flat_hash_stats ovf = s.overflow_table_stats();
+  EXPECT_EQ(ovf.size, s.overflow_entries());
+  EXPECT_LE(ovf.load_factor, 0.75 + 1e-9);
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 // bound, backward-shift erase leaving no unreachable keys, prehashed entry
 // points, move callbacks); a randomized mixed workload checks every
 // observable against a std::unordered_map oracle, including across rehashes
-// and clear().
+// and clear(). The tier-differential suites then force each SIMD dispatch
+// tier in turn (simd::scoped_tier) and require bit-identical behavior down
+// to the save() bytes - the group probes must choose exactly the slots the
+// scalar oracle chooses.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -13,9 +16,25 @@
 
 #include "util/flat_hash.hpp"
 #include "util/random.hpp"
+#include "util/simd.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 namespace {
+
+/// Every dispatch tier this host can run (ascending, scalar first).
+std::vector<simd::tier> host_tiers() {
+  std::vector<simd::tier> out{simd::tier::scalar};
+  if (simd::detect() >= simd::tier::sse2) out.push_back(simd::tier::sse2);
+  if (simd::detect() >= simd::tier::avx2) out.push_back(simd::tier::avx2);
+  return out;
+}
+
+std::vector<std::uint8_t> save_bytes(const flat_hash<std::uint64_t>& h) {
+  wire::writer w;
+  h.save(w);
+  return w.data();
+}
 
 TEST(FlatHash, StartsEmptyAndUnallocated) {
   flat_hash<std::uint64_t> h;
@@ -243,6 +262,167 @@ TEST(FlatHash, RandomOpsMatchUnorderedMapOracle) {
       EXPECT_EQ(it->second, v);
     });
     EXPECT_EQ(visited, oracle.size());
+  }
+}
+
+// --- probe introspection -----------------------------------------------------
+
+TEST(FlatHash, StatsOnEmptyAndPopulatedTables) {
+  flat_hash<std::uint64_t> h;
+  flat_hash_stats st = h.stats();
+  EXPECT_EQ(st.size, 0u);
+  EXPECT_EQ(st.capacity, 0u);
+  EXPECT_EQ(st.load_factor, 0.0);
+
+  for (std::uint64_t i = 0; i < 300; ++i) h.emplace(i, 1);
+  st = h.stats();
+  EXPECT_EQ(st.size, 300u);
+  EXPECT_EQ(st.capacity, h.capacity());
+  EXPECT_NEAR(st.load_factor, 300.0 / static_cast<double>(h.capacity()), 1e-12);
+  EXPECT_LE(st.mean_probe, static_cast<double>(st.max_probe));
+  // The load bound caps the table at 3/4 full; probe chains stay short.
+  EXPECT_LT(st.max_probe, st.capacity);
+}
+
+TEST(FlatHash, StatsSeeProbeChainsGrowWithLoad) {
+  flat_hash<std::uint64_t> h(1024);
+  double last_mean = 0.0;
+  for (std::uint64_t i = 0; i < 700; ++i) h.emplace(i, 1);
+  const flat_hash_stats st = h.stats();
+  last_mean = st.mean_probe;
+  EXPECT_GE(last_mean, 0.0);
+  // At ~68% load some probe displacement is statistically certain.
+  EXPECT_GT(st.max_probe, 0u);
+}
+
+// --- SIMD dispatch differentials ---------------------------------------------
+// The acceptance bar of the SIMD rework: the group-probed tiers must be
+// bit-identical to the scalar oracle - same lookup results, same insert
+// slots, same backward-shift relocations, and therefore the same save()
+// bytes after any operation history.
+
+/// One deterministic mixed op stream (insert / bump / erase / lookup /
+/// save+restore), run entirely under the given tier. Writes the final
+/// serialized state to `out`; records every lookup outcome in `probe_log`.
+/// (void-returning so gtest ASSERTs are usable inside.)
+void run_op_stream(simd::tier t, std::uint64_t seed, std::vector<std::uint64_t>* probe_log,
+                   std::vector<std::uint8_t>* out) {
+  simd::scoped_tier guard(t);
+  xoshiro256 rng(seed);
+  flat_hash<std::uint64_t> h;
+  for (int op = 0; op < 12000; ++op) {
+    const std::uint64_t key = rng() % 384;
+    switch (rng() % 5) {
+      case 0:
+        if (!h.contains(key)) h.emplace(key, static_cast<std::uint32_t>(rng()));
+        break;
+      case 1:
+        ++h.find_or_emplace(key, 0);
+        break;
+      case 2:
+        probe_log->push_back(h.erase(key) ? 1 : 0);
+        break;
+      case 3: {
+        const std::uint32_t* p = h.find(key);
+        probe_log->push_back(p ? *p : ~0ull);
+        break;
+      }
+      default: {  // save/restore interleaving mid-stream
+        if (op % 977 == 0) {
+          wire::writer w;
+          h.save(w);
+          wire::reader r(w.data());
+          flat_hash<std::uint64_t> back;
+          ASSERT_TRUE(back.restore(r)) << "mid-stream restore failed";
+          probe_log->push_back(back.size());
+          h = std::move(back);
+        }
+        break;
+      }
+    }
+  }
+  *out = save_bytes(h);
+}
+
+TEST(FlatHashSimd, EveryTierProducesIdenticalBytesAndLookups) {
+  for (const std::uint64_t seed : {3ull, 777ull, 424242ull}) {
+    std::vector<std::uint64_t> scalar_log;
+    std::vector<std::uint8_t> scalar_bytes;
+    run_op_stream(simd::tier::scalar, seed, &scalar_log, &scalar_bytes);
+    for (const simd::tier t : host_tiers()) {
+      if (t == simd::tier::scalar) continue;
+      std::vector<std::uint64_t> log;
+      std::vector<std::uint8_t> bytes;
+      run_op_stream(t, seed, &log, &bytes);
+      EXPECT_EQ(log, scalar_log) << "lookup divergence under " << simd::tier_name(t);
+      EXPECT_EQ(bytes, scalar_bytes) << "save() divergence under " << simd::tier_name(t);
+    }
+  }
+}
+
+TEST(FlatHashSimd, SaveRestoreCrossesDispatchTiers) {
+  // Build under the widest tier, restore and continue under scalar (and the
+  // reverse): the wire format carries no tier-dependent state, so the
+  // continuations must stay byte-identical.
+  const auto tiers = host_tiers();
+  const simd::tier widest = tiers.back();
+  for (const auto& [build_tier, continue_tier] :
+       {std::pair{widest, simd::tier::scalar}, std::pair{simd::tier::scalar, widest}}) {
+    std::vector<std::uint8_t> image;
+    {
+      simd::scoped_tier guard(build_tier);
+      flat_hash<std::uint64_t> h(256);
+      xoshiro256 rng(99);
+      for (int i = 0; i < 500; ++i) {
+        const std::uint64_t k = rng() % 300;
+        if (!h.contains(k)) h.emplace(k, static_cast<std::uint32_t>(k * 3));
+        if (i % 7 == 0) h.erase(rng() % 300);
+      }
+      image = save_bytes(h);
+    }
+    // Continue identically under both the continue tier and scalar; states
+    // must match each other (and the restored images must equal the saved).
+    std::vector<std::uint8_t> final_a, final_b;
+    for (int which = 0; which < 2; ++which) {
+      simd::scoped_tier guard(which == 0 ? continue_tier : simd::tier::scalar);
+      wire::reader r(image);
+      flat_hash<std::uint64_t> h;
+      ASSERT_TRUE(h.restore(r));
+      EXPECT_EQ(save_bytes(h), image) << "restore-save not a fixed point";
+      xoshiro256 rng(1717);
+      for (int i = 0; i < 400; ++i) {
+        const std::uint64_t k = rng() % 300;
+        ++h.find_or_emplace(k, 0);
+        if (i % 5 == 0) h.erase(rng() % 300);
+      }
+      (which == 0 ? final_a : final_b) = save_bytes(h);
+    }
+    EXPECT_EQ(final_a, final_b) << "cross-tier continuation diverged";
+  }
+}
+
+TEST(FlatHashSimd, PrehashedPathsMatchAcrossTiers) {
+  // The prehashed entry points (token-based) under each tier against plain
+  // find/emplace under scalar - same table, same bytes.
+  std::vector<std::uint8_t> reference;
+  {
+    simd::scoped_tier guard(simd::tier::scalar);
+    flat_hash<std::uint64_t> h(128);
+    for (std::uint64_t i = 0; i < 90; ++i) h.emplace(i * 17, static_cast<std::uint32_t>(i));
+    reference = save_bytes(h);
+  }
+  for (const simd::tier t : host_tiers()) {
+    simd::scoped_tier guard(t);
+    flat_hash<std::uint64_t> h(128);
+    for (std::uint64_t i = 0; i < 90; ++i) {
+      h.emplace_prehashed(h.bucket(i * 17), i * 17, static_cast<std::uint32_t>(i));
+    }
+    EXPECT_EQ(save_bytes(h), reference) << simd::tier_name(t);
+    for (std::uint64_t i = 0; i < 90; ++i) {
+      ASSERT_NE(h.find_prehashed(h.bucket(i * 17), i * 17), nullptr);
+      EXPECT_EQ(*h.find_prehashed(h.bucket(i * 17), i * 17), i);
+    }
+    EXPECT_EQ(h.find_prehashed(h.bucket(5555), 5555), nullptr);
   }
 }
 

@@ -1,0 +1,224 @@
+// util/simd.hpp + util/sliding_window_agg.hpp: runtime dispatch semantics
+// and kernel differentials.
+//
+// Every vectorized kernel has a scalar twin that is the behavioral oracle;
+// these tests drive the SAME binary through every tier the host supports
+// (simd::scoped_tier) and require identical results - values, visit order,
+// and tie-breaks. The two-stacks window aggregate is additionally checked
+// against a naive recompute-the-window-max oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/simd.hpp"
+#include "util/sliding_window_agg.hpp"
+
+namespace memento {
+namespace {
+
+/// Every tier this host can actually run (ascending, scalar first).
+std::vector<simd::tier> host_tiers() {
+  std::vector<simd::tier> out{simd::tier::scalar};
+  if (simd::detect() >= simd::tier::sse2) out.push_back(simd::tier::sse2);
+  if (simd::detect() >= simd::tier::avx2) out.push_back(simd::tier::avx2);
+  return out;
+}
+
+TEST(SimdDispatch, DetectIsStableAndAtLeastScalar) {
+  const simd::tier a = simd::detect();
+  EXPECT_GE(a, simd::tier::scalar);
+  EXPECT_EQ(simd::detect(), a) << "detect() must be idempotent";
+#if MEMENTO_SIMD_X86
+  // SSE2 is part of the x86-64 baseline; detection can only report less
+  // when the MEMENTO_ISA environment clamp asked for it.
+  if (std::getenv("MEMENTO_ISA") == nullptr) {
+    EXPECT_GE(a, simd::tier::sse2);
+  }
+#endif
+}
+
+TEST(SimdDispatch, ForceClampsToHostAndClears) {
+  simd::force(simd::tier::scalar);
+  EXPECT_EQ(simd::active(), simd::tier::scalar);
+  // Forcing above the host's capability clamps down, never up.
+  simd::force(simd::tier::avx2);
+  EXPECT_LE(simd::active(), simd::detect());
+  simd::clear_force();
+  EXPECT_EQ(simd::active(), simd::detect());
+}
+
+TEST(SimdDispatch, ScopedTierRestoresThePreviousOverride) {
+  simd::force(simd::tier::scalar);
+  {
+    simd::scoped_tier inner(simd::detect());
+    EXPECT_EQ(simd::active(), simd::detect());
+  }
+  EXPECT_EQ(simd::active(), simd::tier::scalar) << "outer override lost";
+  simd::clear_force();
+}
+
+TEST(SimdDispatch, TierNamesAreStable) {
+  EXPECT_STREQ(simd::tier_name(simd::tier::scalar), "scalar");
+  EXPECT_STREQ(simd::tier_name(simd::tier::sse2), "sse2");
+  EXPECT_STREQ(simd::tier_name(simd::tier::avx2), "avx2");
+}
+
+#if MEMENTO_SIMD_X86
+TEST(SimdGroup, Group16MatchBitsFollowByteOrder) {
+  std::uint8_t ctrl[16 + 16] = {};  // padded so loads stay in bounds
+  for (std::size_t i = 0; i < 16; ++i) ctrl[i] = simd::kCtrlEmpty;
+  ctrl[3] = 0x5A;
+  ctrl[7] = 0x5A;
+  ctrl[9] = 0x11;
+  const auto g = simd::group16::load(ctrl);
+  EXPECT_EQ(g.match(0x5A), (1u << 3) | (1u << 7));
+  EXPECT_EQ(g.match(0x11), 1u << 9);
+  EXPECT_EQ(g.match(0x22), 0u);
+  EXPECT_EQ(g.match_empty(), 0xFFFFu & ~((1u << 3) | (1u << 7) | (1u << 9)));
+}
+#endif
+
+// --- u64 scan kernels: every tier against the scalar oracle -----------------
+
+TEST(SimdScan, ScanGeMatchesScalarOracleOnEveryTier) {
+  xoshiro256 rng(11);
+  for (const std::size_t n : {0ul, 1ul, 3ul, 4ul, 5ul, 17ul, 64ul, 513ul}) {
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = rng() % 64;  // small range -> many threshold hits
+    for (const std::uint64_t bar : {0ull, 1ull, 13ull, 63ull, ~0ull}) {
+      std::vector<std::size_t> expect;
+      simd::detail::scan_ge_u64_scalar(v.data(), n, bar,
+                                       [&](std::size_t i) { expect.push_back(i); });
+      for (const simd::tier t : host_tiers()) {
+        simd::scoped_tier guard(t);
+        std::vector<std::size_t> got;
+        simd::scan_ge_u64(v.data(), n, bar, [&](std::size_t i) { got.push_back(i); });
+        EXPECT_EQ(got, expect) << "tier " << simd::tier_name(t) << " n=" << n << " bar=" << bar;
+      }
+    }
+  }
+}
+
+TEST(SimdScan, MinScanMatchesScalarIncludingFirstIndexTieBreak) {
+  xoshiro256 rng(22);
+  for (const std::size_t n : {1ul, 2ul, 4ul, 7ul, 8ul, 9ul, 33ul, 512ul}) {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<std::uint64_t> v(n);
+      // Tiny value range forces duplicated minima, exercising the tie-break.
+      for (auto& x : v) x = rng() % 5;
+      const auto expect = simd::detail::min_scan_u64_scalar(v.data(), n);
+      for (const simd::tier t : host_tiers()) {
+        simd::scoped_tier guard(t);
+        const auto got = simd::min_scan_u64(v.data(), n);
+        EXPECT_EQ(got, expect) << "tier " << simd::tier_name(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdScan, MinScanHandlesExtremeValues) {
+  std::vector<std::uint64_t> v{~0ull, ~0ull - 1, ~0ull, 5, 5, ~0ull, 7, 9, 12, 5};
+  const auto expect = simd::detail::min_scan_u64_scalar(v.data(), v.size());
+  EXPECT_EQ(expect.first, 5u);
+  EXPECT_EQ(expect.second, 3u);
+  for (const simd::tier t : host_tiers()) {
+    simd::scoped_tier guard(t);
+    EXPECT_EQ(simd::min_scan_u64(v.data(), v.size()), expect) << simd::tier_name(t);
+  }
+}
+
+TEST(SimdScan, SuffixMaxMatchesScalarOnEveryTier) {
+  xoshiro256 rng(33);
+  for (const std::size_t n : {0ul, 1ul, 2ul, 3ul, 4ul, 5ul, 8ul, 11ul, 64ul, 257ul}) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<std::uint64_t> src(n);
+      for (auto& x : src) x = rng();
+      std::vector<std::uint64_t> expect(n), got(n);
+      simd::detail::suffix_max_u64_scalar(src.data(), expect.data(), n);
+      for (const simd::tier t : host_tiers()) {
+        simd::scoped_tier guard(t);
+        std::fill(got.begin(), got.end(), 0);
+        simd::suffix_max_u64(src.data(), got.data(), n);
+        EXPECT_EQ(got, expect) << "tier " << simd::tier_name(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+// --- two-stacks sliding-window aggregate -------------------------------------
+
+/// Naive oracle: keep the raw window, recompute the max on every query.
+class naive_max_window {
+ public:
+  explicit naive_max_window(std::size_t window) : window_(window) {}
+  void push(std::uint64_t v) {
+    if (vals_.size() == window_) vals_.pop_front();
+    vals_.push_back(v);
+  }
+  [[nodiscard]] std::uint64_t query() const {
+    std::uint64_t m = 0;
+    for (const auto v : vals_) m = std::max(m, v);
+    return m;
+  }
+  [[nodiscard]] std::size_t size() const { return vals_.size(); }
+
+ private:
+  std::size_t window_;
+  std::deque<std::uint64_t> vals_;
+};
+
+TEST(TwoStacksWindow, EmptyQueriesIdentity) {
+  max_window_u64 w(8);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.query(), 0u);
+  EXPECT_EQ(w.window(), 8u);
+}
+
+TEST(TwoStacksWindow, MatchesNaiveOracleOnEveryTier) {
+  for (const simd::tier t : host_tiers()) {
+    simd::scoped_tier guard(t);
+    for (const std::size_t window : {1ul, 2ul, 3ul, 7ul, 16ul, 100ul}) {
+      xoshiro256 rng(1234);
+      max_window_u64 fast(window);
+      naive_max_window naive(window);
+      for (int i = 0; i < 5000; ++i) {
+        // Mixed magnitudes: long quiet stretches with rare spikes, so evicting
+        // the current max (the hard case) actually happens.
+        const std::uint64_t v = (rng() % 100 == 0) ? rng() : rng() % 8;
+        fast.push(v);
+        naive.push(v);
+        ASSERT_EQ(fast.size(), naive.size());
+        ASSERT_EQ(fast.query(), naive.query())
+            << "tier " << simd::tier_name(t) << " window=" << window << " step=" << i;
+      }
+    }
+  }
+}
+
+TEST(TwoStacksWindow, ClearEmptiesButKeepsWindowLength) {
+  max_window_u64 w(4);
+  for (std::uint64_t v : {5ull, 9ull, 2ull}) w.push(v);
+  EXPECT_EQ(w.query(), 9u);
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.query(), 0u);
+  EXPECT_EQ(w.window(), 4u);
+  w.push(3);
+  EXPECT_EQ(w.query(), 3u);
+}
+
+TEST(TwoStacksWindow, WindowOfOneTracksTheLastValue) {
+  max_window_u64 w(1);
+  for (std::uint64_t v : {7ull, 100ull, 1ull, 42ull}) {
+    w.push(v);
+    EXPECT_EQ(w.query(), v);
+    EXPECT_EQ(w.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace memento

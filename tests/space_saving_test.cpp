@@ -12,6 +12,8 @@
 #include "sketch/space_saving.hpp"
 #include "trace/trace_generator.hpp"
 #include "util/random.hpp"
+#include "util/simd.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 namespace {
@@ -188,6 +190,102 @@ TEST(SpaceSaving, HeavyHittersSurviveEvictionChurn) {
   EXPECT_TRUE(ss.contains(0xABCD));
   EXPECT_GE(ss.query(0xABCD), hh_count);
   EXPECT_LE(ss.query(0xABCD) - hh_count, n / 32 + 1);
+}
+
+TEST(SpaceSaving, AddBatchEqualsSequentialAdds) {
+  // add_batch is the HammerSlide-shaped bulk entry point: hash-ahead +
+  // prefetch must change nothing observable, down to the save() bytes.
+  xoshiro256 rng(31);
+  std::vector<std::uint64_t> ids(20000);
+  for (auto& id : ids) id = rng.bounded(700);
+
+  space_saving<std::uint64_t> one_by_one(64);
+  for (const auto id : ids) one_by_one.add(id);
+  space_saving<std::uint64_t> batched(64);
+  batched.add_batch(ids.data(), ids.size());
+
+  wire::writer wa, wb;
+  one_by_one.save(wa);
+  batched.save(wb);
+  EXPECT_EQ(wa.data(), wb.data());
+}
+
+TEST(SpaceSaving, MinScanCrossChecksTheBucketList) {
+  // min_scan recomputes the minimum from the flat count array (SIMD); it
+  // must agree with the O(1) bucket-list answer at every step, on every
+  // dispatch tier.
+  for (const simd::tier t :
+       {simd::tier::scalar, simd::tier::sse2, simd::tier::avx2}) {
+    if (t > simd::detect()) continue;
+    simd::scoped_tier guard(t);
+    space_saving<std::uint64_t> ss(32);
+    xoshiro256 rng(17);
+    EXPECT_EQ(ss.min_scan(), 0u);
+    for (int i = 0; i < 5000; ++i) {
+      ss.add(rng.bounded(200));
+      ASSERT_EQ(ss.min_scan(), ss.min_count()) << "step " << i;
+    }
+  }
+}
+
+TEST(SpaceSaving, ForEachAtLeastMatchesFilteredForEach) {
+  for (const simd::tier t :
+       {simd::tier::scalar, simd::tier::sse2, simd::tier::avx2}) {
+    if (t > simd::detect()) continue;
+    simd::scoped_tier guard(t);
+    space_saving<std::uint64_t> ss(100);
+    xoshiro256 rng(23);
+    for (int i = 0; i < 30000; ++i) ss.add(rng.bounded(400));
+    for (const std::uint64_t bar : {0ull, 1ull, 100ull, 1000ull, ~0ull}) {
+      std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> expect, got;
+      ss.for_each([&](std::uint64_t k, std::uint64_t c, std::uint64_t o) {
+        if (c >= bar) expect.emplace_back(k, c, o);
+      });
+      ss.for_each_at_least(
+          bar, [&](std::uint64_t k, std::uint64_t c, std::uint64_t o) { got.emplace_back(k, c, o); });
+      EXPECT_EQ(got, expect) << "tier " << simd::tier_name(t) << " bar " << bar;
+    }
+  }
+}
+
+TEST(SpaceSaving, SaveRestoreRoundTripsTheFastPathStates) {
+  // The singleton-bucket increment fast path renames buckets in place;
+  // restore() revalidates full topology, so a round trip after heavy
+  // fast-path traffic proves the structure stays sound.
+  space_saving<std::uint64_t> ss(16);
+  xoshiro256 rng(41);
+  // Zipf-ish: elephants sit alone in their buckets (the fast path), tail
+  // churns the eviction path.
+  for (int i = 0; i < 20000; ++i) {
+    ss.add(rng.bounded(8) == 0 ? rng.bounded(4) : rng.bounded(5000));
+  }
+  wire::writer w;
+  ss.save(w);
+  wire::reader r(w.data());
+  auto back = space_saving<std::uint64_t>::restore(r);
+  ASSERT_TRUE(back.has_value());
+  wire::writer w2;
+  back->save(w2);
+  EXPECT_EQ(w2.data(), w.data());
+  // And the restored instance continues identically.
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = rng.bounded(5000);
+    ASSERT_EQ(ss.add(id), back->add(id));
+  }
+  EXPECT_EQ(ss.index_stats().size, back->index_stats().size);
+}
+
+TEST(SpaceSaving, IndexStatsReflectThePrereservedTable) {
+  space_saving<std::uint64_t> ss(64);
+  const flat_hash_stats empty = ss.index_stats();
+  EXPECT_EQ(empty.size, 0u);
+  EXPECT_GE(empty.capacity, 128u) << "constructor reserves 2x capacity";
+  xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) ss.add(rng.bounded(300));
+  const flat_hash_stats st = ss.index_stats();
+  EXPECT_EQ(st.size, ss.size());
+  EXPECT_LE(st.load_factor, 0.75 + 1e-9);
+  EXPECT_LE(st.mean_probe, static_cast<double>(st.max_probe));
 }
 
 TEST(SpaceSaving, InterleavedFlushesKeepGuarantees) {
