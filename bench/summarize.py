@@ -12,7 +12,10 @@ which lets `--netwide` refresh the control-channel section without
 re-measuring the throughput benches.
 
 `--netwide` folds the netwide_bytes bench's error-per-byte rows (sample vs
-summary control channels) into a `netwide_bytes` section of the artifact.
+summary control channels) into a `netwide_bytes` section of the artifact,
+plus its delta-vs-full summary-channel comparison as `summary_delta`.
+`--snapshot` folds a snapshot_speed --json report into the `snapshot`
+section (save/restore MB/s, compression ratio, bounded-memory evidence).
 `--rebalance` folds a `fig5/hh_speed_rebalanced` measurement (raw Google
 Benchmark JSON) into the `rebalance` section without touching the other
 sections; the same section is also produced directly when the main input
@@ -196,7 +199,10 @@ def check_provenance(summary: dict, allow_debug: bool) -> bool:
     would poison every later diff against it. `memento_build_type` is the
     bench binary's own NDEBUG/-O report (authoritative); `library_build_type`
     only describes how the distro compiled libbenchmark, so a debug value
-    there is a warning, not an error.
+    there is a warning, not an error. The two can legitimately disagree
+    (release-built benches against a distro debug libbenchmark); what may
+    NOT disagree is memento_build_type across the folded inputs - that is a
+    real mismatch and check_fold_provenance fails closed on it.
     """
     host = summary.get("host", {})
     build = host.get("memento_build_type")
@@ -223,6 +229,43 @@ def check_provenance(summary: dict, allow_debug: bool) -> bool:
             "(library_build_type == 'debug'); timing overhead inside the "
             "benchmark harness may be inflated.\n"
         )
+    return True
+
+
+def check_fold_provenance(summary: dict, section: str, doc: dict, allow_debug: bool) -> bool:
+    """Reconcile a folded input's self-reported build type with the artifact.
+
+    Every folded section records the build type of the binary that produced
+    it (`build_types` in the artifact, keyed by section), so a reader can
+    tell exactly which codegen produced each number. A GENUINE mismatch -
+    one input's memento_build_type differing from another's - fails closed:
+    mixing debug and release numbers in one artifact would silently corrupt
+    the trajectory. Inputs without a self-report (older binaries) warn, like
+    the main input does.
+    """
+    build = doc.get("memento_build_type")
+    recorded = summary.setdefault("build_types", {})
+    if build is None:
+        sys.stderr.write(
+            f"summarize.py: WARNING: --{section} input carries no "
+            "memento_build_type; provenance for that section is unverified.\n"
+        )
+        return True
+    if build == "debug" and not allow_debug:
+        sys.stderr.write(
+            f"summarize.py: REFUSING debug-built --{section} input "
+            "(memento_build_type == 'debug'); pass --allow-debug to override.\n"
+        )
+        return False
+    main_build = summary.get("host", {}).get("memento_build_type")
+    if main_build is not None and build != main_build:
+        sys.stderr.write(
+            f"summarize.py: REFUSING --{section} input: its memento_build_type "
+            f"({build!r}) does not match the artifact's ({main_build!r}); "
+            "re-run both benches from the same build.\n"
+        )
+        return False
+    recorded[section] = build
     return True
 
 
@@ -253,6 +296,11 @@ def main() -> int:
         default=None,
         help="memento_appliance --json output to fold in as the `appliance` section",
     )
+    ap.add_argument(
+        "--snapshot",
+        default=None,
+        help="snapshot_speed --json output to fold in as the `snapshot` section",
+    )
     args = ap.parse_args()
 
     with open(args.input, encoding="utf-8") as f:
@@ -265,7 +313,12 @@ def main() -> int:
         return 1
     if args.netwide:
         with open(args.netwide, encoding="utf-8") as f:
-            summary["netwide_bytes"] = json.load(f)["netwide_bytes"]
+            doc = json.load(f)
+        if not check_fold_provenance(summary, "netwide", doc, args.allow_debug):
+            return 1
+        summary["netwide_bytes"] = doc["netwide_bytes"]
+        if "summary_delta" in doc:
+            summary["summary_delta"] = doc["summary_delta"]
     if args.rebalance:
         with open(args.rebalance, encoding="utf-8") as f:
             rows = reduce_rebalance(json.load(f))
@@ -279,7 +332,18 @@ def main() -> int:
         if "appliance" not in doc:
             sys.stderr.write("summarize.py: --appliance input has no appliance section\n")
             return 1
+        if not check_fold_provenance(summary, "appliance", doc, args.allow_debug):
+            return 1
         summary["appliance"] = doc["appliance"]
+    if args.snapshot:
+        with open(args.snapshot, encoding="utf-8") as f:
+            doc = json.load(f)
+        if "snapshot" not in doc:
+            sys.stderr.write("summarize.py: --snapshot input has no snapshot section\n")
+            return 1
+        if not check_fold_provenance(summary, "snapshot", doc, args.allow_debug):
+            return 1
+        summary["snapshot"] = doc["snapshot"]
     text = json.dumps(summary, indent=2) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:

@@ -180,6 +180,9 @@ class h_memento {
 
   static constexpr std::uint16_t kWireTag = 0x484d;  ///< "HM"
   static constexpr std::uint16_t kWireVersion = 1;
+  /// Streamed framing (wire::sink/source); HM adds no columns of its own,
+  /// so no codec-flags byte here - the inner section carries one.
+  static constexpr std::uint16_t kWireVersionStream = 2;
 
   /// Serializes the algorithm as one versioned section.
   void save(wire::writer& w) const {
@@ -195,6 +198,14 @@ class h_memento {
   /// Rebuilds an instance from save() output; nullopt on any malformed
   /// input (see memento_sketch::restore for the validation contract).
   [[nodiscard]] static std::optional<h_memento> restore(wire::reader& r) {
+    std::uint16_t ptag = 0, pver = 0;
+    if (r.peek_section(ptag, pver) && ptag == kWireTag && pver == kWireVersionStream) {
+      wire::source src(r.rest());
+      auto out = restore(src);
+      if (!out) return std::nullopt;
+      r.skip(src.consumed());
+      return out;
+    }
     std::uint16_t version = 0;
     wire::reader body;
     if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
@@ -210,6 +221,41 @@ class h_memento {
 
     auto inner = memento_sketch<key_type>::restore(body);
     if (!inner || !body.done()) return std::nullopt;
+    h_memento out(h_memento_config{inner->window_size(), inner->counters(), inner->tau(),
+                                   delta, seed});
+    out.inner_ = std::move(*inner);
+    if (!out.sampler_.set_cursor(static_cast<std::size_t>(cursor))) return std::nullopt;
+    if (!out.rng_.set_state(state)) return std::nullopt;
+    return out;
+  }
+
+  /// Streamed counterpart of save(); the inner Memento section does the
+  /// heavy lifting, HM itself contributes a handful of scalars.
+  void save(wire::sink& s, bool packed = true) const {
+    s.begin_section(kWireTag, kWireVersionStream);
+    s.f64(delta_);
+    s.u64(seed_);
+    s.varint(sampler_.cursor());
+    for (const std::uint64_t word : rng_.state()) s.u64(word);
+    inner_.save(s, packed);
+    s.end_section();
+  }
+
+  /// Rebuilds an instance from streamed save() output.
+  [[nodiscard]] static std::optional<h_memento> restore(wire::source& s) {
+    std::uint16_t version = 0;
+    if (!s.open_section(kWireTag, version) || version != kWireVersionStream) return std::nullopt;
+    double delta = 0.0;
+    std::uint64_t seed = 0, cursor = 0;
+    xoshiro256::state_type state{};
+    if (!s.f64(delta) || !s.u64(seed) || !s.varint(cursor)) return std::nullopt;
+    for (auto& word : state) {
+      if (!s.u64(word)) return std::nullopt;
+    }
+    if (!(delta > 0.0) || !(delta < 1.0)) return std::nullopt;  // excludes NaN
+
+    auto inner = memento_sketch<key_type>::restore(s);
+    if (!inner || !s.close_section()) return std::nullopt;
     h_memento out(h_memento_config{inner->window_size(), inner->counters(), inner->tau(),
                                    delta, seed});
     out.inner_ = std::move(*inner);

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "sketch/space_saving.hpp"
+#include "util/compress.hpp"
 #include "util/flat_hash.hpp"
 #include "util/random.hpp"
 #include "util/sliding_window_agg.hpp"
@@ -354,6 +355,8 @@ class memento_sketch {
 
   static constexpr std::uint16_t kWireTag = 0x4d53;  ///< "MS"
   static constexpr std::uint16_t kWireVersion = 1;
+  /// Streamed framing (wire::sink/source): compressed columns + section CRC.
+  static constexpr std::uint16_t kWireVersionStream = 2;
 
   /// Serializes the sketch as one versioned section.
   void save(wire::writer& w) const {
@@ -385,6 +388,14 @@ class memento_sketch {
   /// threshold, sampler table) are recomputed from the serialized
   /// configuration, so only genuine state crosses the wire.
   [[nodiscard]] static std::optional<memento_sketch> restore(wire::reader& r) {
+    std::uint16_t ptag = 0, pver = 0;
+    if (r.peek_section(ptag, pver) && ptag == kWireTag && pver == kWireVersionStream) {
+      wire::source src(r.rest());
+      auto out = restore(src);
+      if (!out) return std::nullopt;
+      r.skip(src.consumed());
+      return out;
+    }
     std::uint16_t version = 0;
     wire::reader body;
     if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
@@ -430,6 +441,97 @@ class memento_sketch {
       }
     }
     if (!body.done()) return std::nullopt;
+    return out;
+  }
+
+  /// Streamed counterpart of save(): scalars, the Space-Saving and overflow
+  /// substructures in their streamed formats, then the block-queue ring as
+  /// per-queue live counts followed by ONE concatenated key column (queue
+  /// keys across the whole ring compress together - they are the same key
+  /// universe).
+  void save(wire::sink& s, bool packed = true) const {
+    s.begin_section(kWireTag, kWireVersionStream);
+    s.u8(packed ? wire::kCodecPacked : 0);
+    s.u64(frame_len_);
+    s.varint(k_);
+    s.f64(tau_);
+    s.u64(seed_);
+    s.u64(clock_);
+    s.u64(stream_length_);
+    s.u64(forced_drains_);
+    s.varint(head_);
+    s.varint(sampler_.cursor());
+    y_.save(s, packed);
+    overflows_.save_stream(s, packed);
+    std::size_t total = 0;
+    for (const block_queue& q : blocks_) {
+      const std::size_t live = q.items.size() - q.next;
+      s.varint(live);
+      total += live;
+    }
+    std::size_t qi = 0, ii = blocks_.empty() ? 0 : blocks_[0].next;
+    wire::put_u64_array(s, total, packed, [&] {
+      while (ii >= blocks_[qi].items.size()) ii = blocks_[++qi].next;
+      return wire::codec<Key>::to_u64(blocks_[qi].items[ii++]);
+    });
+    s.end_section();
+  }
+
+  /// Rebuilds a sketch from streamed save() output; same validation contract
+  /// as the buffered restore plus the section CRC.
+  [[nodiscard]] static std::optional<memento_sketch> restore(wire::source& s) {
+    std::uint16_t version = 0;
+    if (!s.open_section(kWireTag, version) || version != kWireVersionStream) return std::nullopt;
+    std::uint8_t flags = 0;
+    if (!s.u8(flags) || (flags & ~wire::kCodecKnownMask) != 0) return std::nullopt;
+    const bool packed = (flags & wire::kCodecPacked) != 0;
+    std::uint64_t frame = 0, k = 0, seed = 0, clock = 0, stream = 0, drains = 0;
+    std::uint64_t head = 0, cursor = 0;
+    double tau = 0.0;
+    if (!s.u64(frame) || !s.varint(k) || !s.f64(tau) || !s.u64(seed) || !s.u64(clock) ||
+        !s.u64(stream) || !s.u64(drains) || !s.varint(head) || !s.varint(cursor)) {
+      return std::nullopt;
+    }
+    if (k == 0 || k > (std::uint64_t{1} << 18) || frame == 0) return std::nullopt;
+    if (!(tau > 0.0) || tau > 1.0) return std::nullopt;  // excludes NaN too
+    if (clock >= frame || head > k) return std::nullopt;
+
+    memento_sketch out(memento_config{frame, static_cast<std::size_t>(k), tau, seed});
+    if (out.frame_len_ != frame) return std::nullopt;
+    if (!out.sampler_.set_cursor(static_cast<std::size_t>(cursor))) return std::nullopt;
+    out.clock_ = clock;
+    out.until_block_end_ = out.block_len_ - clock % out.block_len_;
+    out.stream_length_ = stream;
+    out.forced_drains_ = drains;
+    out.head_ = static_cast<std::size_t>(head);
+
+    auto y = space_saving<Key>::restore(s);
+    if (!y || y->capacity() != out.k_) return std::nullopt;
+    out.y_ = std::move(*y);
+    if (!out.overflows_.restore_stream(s, packed)) return std::nullopt;
+    // No byte-budget guard is possible on a stream, so cap the total queued
+    // keys absolutely: an honest ring never holds more than ~W overflow
+    // events, and 2^22 (32 MB of keys) is far above any tested config while
+    // bounding what a lying count can make restore allocate.
+    std::uint64_t total = 0;
+    for (block_queue& q : out.blocks_) {
+      std::uint64_t n = 0;
+      if (!s.varint(n) || n > (std::uint64_t{1} << 22) - total) return std::nullopt;
+      total += n;
+      q.items.resize(static_cast<std::size_t>(n));
+      q.next = 0;
+    }
+    std::size_t qi = 0, ii = 0;
+    if (!wire::get_u64_array(s, static_cast<std::size_t>(total), packed, [&](std::uint64_t raw) {
+          while (ii >= out.blocks_[qi].items.size()) {
+            ++qi;
+            ii = 0;
+          }
+          return wire::codec<Key>::from_u64(raw, out.blocks_[qi].items[ii++]);
+        })) {
+      return std::nullopt;
+    }
+    if (!s.close_section()) return std::nullopt;
     return out;
   }
 

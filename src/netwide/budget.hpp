@@ -63,6 +63,29 @@ struct budget_model {
   [[nodiscard]] double packets_per_summary(std::size_t entries) const {
     return summary_report_bytes(entries) / bytes_per_packet;
   }
+
+  // --- delta summary pricing -------------------------------------------------
+  // A DELTA summary report (netwide/summary_channel.hpp) ships only the
+  // candidates whose estimate moved past the change bar since the last
+  // shipped summary, plus the keys that left the candidate set. Changed
+  // entries cost the full S (key + estimate); removals cost only a key.
+
+  double delta_entry_bytes = 16.0;  ///< bytes per changed entry (8B key + 8B estimate)
+  double removal_entry_bytes = 8.0;  ///< bytes per dropped-candidate key
+
+  /// Size in bytes of a delta report: O overhead + changed entries +
+  /// removal keys (the epoch/kind preamble rides inside O's slack).
+  [[nodiscard]] double summary_delta_report_bytes(std::size_t changed,
+                                                  std::size_t removed) const noexcept {
+    return overhead_bytes + delta_entry_bytes * static_cast<double>(changed) +
+           removal_entry_bytes * static_cast<double>(removed);
+  }
+
+  /// Ingress packets between two delta reports of the given shape: the
+  /// steady-state cadence bound mirroring packets_per_summary.
+  [[nodiscard]] double packets_per_delta(std::size_t changed, std::size_t removed) const {
+    return summary_delta_report_bytes(changed, removed) / bytes_per_packet;
+  }
 };
 
 }  // namespace memento::netwide

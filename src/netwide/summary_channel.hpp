@@ -29,14 +29,17 @@
 // corrupt summary report decodes to nullopt, never a crash.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/h_memento.hpp"
+#include "util/compress.hpp"
 #include "hierarchy/hhh_solver.hpp"
 #include "netwide/budget.hpp"
 #include "snapshot/summary.hpp"
@@ -205,6 +208,377 @@ class summary_controller {
  private:
   std::unordered_map<std::uint32_t, window_summary<key_type>> snapshots_;
   std::uint64_t reports_ = 0;
+};
+
+// --- delta summary channel ---------------------------------------------------
+// The full-summary channel re-ships every candidate on every report, but in
+// steady state most heavy hitters' estimates barely move between reports:
+// the information per report is the CHANGES. The delta channel ships, per
+// report, only the candidates whose estimate moved past a change bar since
+// the last shipped summary, plus the keys that left the candidate set; the
+// controller patches its per-origin baseline in place.
+//
+// Three things make this safe against loss and corruption:
+//   * every report carries a per-origin EPOCH; a delta only applies to the
+//     exact baseline it was computed against (epoch == last + 1), anything
+//     else is rejected and the controller waits for the next full report;
+//   * every resync_every-th report is a FULL baseline (epoch 1 always is),
+//     bounding how long a desynced controller stays stale;
+//   * the delta payload rides in its own CRC'd streamed section (tag "WD"),
+//     so corruption rejects cleanly like every other wire section.
+//
+// The change bar is quantized in overflow units (T * H / tau packets, the
+// granularity at which the underlying sketch actually learns): a naive
+// "estimate changed" test would ship nearly every entry every report,
+// because the in-frame residue term moves on almost every packet. Unshipped
+// drift stays below one quantization step, which is already inside the
+// estimate's +-2T slack - so recall at any detection bar the channel is
+// honest for is unchanged, which is what makes the bytes comparison in
+// bench/netwide_bytes.cpp an equal-recall one.
+
+/// Wire tag of the delta payload section ("WD"); version 1.
+inline constexpr std::uint16_t kDeltaWireTag = 0x5744;
+inline constexpr std::uint16_t kDeltaWireVersion = 1;
+
+/// What a delta report carries: the report kind discriminates the payload.
+enum class summary_kind : std::uint8_t { full = 0, delta = 1 };
+
+/// One report on the delta channel. `summary` is populated for full
+/// reports; `changed`/`removed` plus the scalar header for delta reports.
+template <typename Key>
+struct delta_summary_report {
+  std::uint32_t origin = 0;
+  std::uint64_t covered_packets = 0;
+  std::uint64_t epoch = 0;  ///< per-origin, starts at 1, +1 per sent report
+  summary_kind kind = summary_kind::full;
+  window_summary<Key> summary;  ///< full payload
+
+  // delta payload
+  std::uint64_t window = 0, stream = 0;
+  double width = 0.0, miss_upper = 0.0;
+  std::vector<std::pair<Key, double>> changed;
+  std::vector<Key> removed;
+};
+
+/// Serializes a delta-channel report: u32 origin | u64 covered | u64 epoch |
+/// u8 kind | payload (a WS v2 section for full, a CRC'd WD section for
+/// delta, both FoR-packed).
+template <typename Key>
+[[nodiscard]] std::vector<std::uint8_t> encode_delta_summary_report(
+    const delta_summary_report<Key>& report) {
+  std::vector<std::uint8_t> out;
+  wire::sink s(out);
+  s.u32(report.origin);
+  s.u64(report.covered_packets);
+  s.u64(report.epoch);
+  s.u8(static_cast<std::uint8_t>(report.kind));
+  if (report.kind == summary_kind::full) {
+    report.summary.save(s);
+  } else {
+    s.begin_section(kDeltaWireTag, kDeltaWireVersion);
+    s.u8(wire::kCodecPacked);
+    s.varint(report.window);
+    s.varint(report.stream);
+    s.f64(report.width);
+    s.f64(report.miss_upper);
+    s.varint(report.changed.size());
+    std::size_t i = 0;
+    wire::put_u64_array(s, report.changed.size(), /*packed=*/true,
+                        [&] { return wire::codec<Key>::to_u64(report.changed[i++].first); });
+    for (const auto& [key, est] : report.changed) s.f64(est);
+    s.varint(report.removed.size());
+    i = 0;
+    wire::put_u64_array(s, report.removed.size(), /*packed=*/true,
+                        [&] { return wire::codec<Key>::to_u64(report.removed[i++]); });
+    s.end_section();
+  }
+  if (!s.finish()) return {};
+  return out;
+}
+
+/// Parses a delta-channel report; nullopt on truncation, an unknown kind,
+/// a CRC mismatch, or trailing garbage.
+template <typename Key>
+[[nodiscard]] std::optional<delta_summary_report<Key>> decode_delta_summary_report(
+    std::span<const std::uint8_t> bytes) {
+  wire::source s(bytes);
+  delta_summary_report<Key> report;
+  std::uint8_t kind = 0;
+  if (!s.u32(report.origin) || !s.u64(report.covered_packets) || !s.u64(report.epoch) ||
+      !s.u8(kind) || kind > static_cast<std::uint8_t>(summary_kind::delta)) {
+    return std::nullopt;
+  }
+  report.kind = static_cast<summary_kind>(kind);
+  if (report.kind == summary_kind::full) {
+    auto summary = window_summary<Key>::restore(s);
+    if (!summary || !s.done()) return std::nullopt;
+    report.summary = std::move(*summary);
+    return report;
+  }
+  std::uint16_t version = 0;
+  if (!s.open_section(kDeltaWireTag, version) || version != kDeltaWireVersion) {
+    return std::nullopt;
+  }
+  std::uint8_t flags = 0;
+  if (!s.u8(flags) || (flags & ~wire::kCodecKnownMask) != 0) return std::nullopt;
+  const bool packed = (flags & wire::kCodecPacked) != 0;
+  std::uint64_t nchanged = 0, nremoved = 0;
+  if (!s.varint(report.window) || !s.varint(report.stream) || !s.f64(report.width) ||
+      !s.f64(report.miss_upper) || !s.varint(nchanged)) {
+    return std::nullopt;
+  }
+  if (nchanged > (std::uint64_t{1} << 21)) return std::nullopt;  // matches WS entry cap
+  report.changed.resize(static_cast<std::size_t>(nchanged));
+  std::size_t i = 0;
+  if (!wire::get_u64_array(s, report.changed.size(), packed, [&](std::uint64_t raw) {
+        return wire::codec<Key>::from_u64(raw, report.changed[i++].first);
+      })) {
+    return std::nullopt;
+  }
+  for (auto& [key, est] : report.changed) {
+    if (!s.f64(est)) return std::nullopt;
+  }
+  if (!s.varint(nremoved) || nremoved > (std::uint64_t{1} << 21)) return std::nullopt;
+  report.removed.resize(static_cast<std::size_t>(nremoved));
+  i = 0;
+  if (!wire::get_u64_array(s, report.removed.size(), packed, [&](std::uint64_t raw) {
+        return wire::codec<Key>::from_u64(raw, report.removed[i++]);
+      })) {
+    return std::nullopt;
+  }
+  if (!s.close_section() || !s.done()) return std::nullopt;
+  return report;
+}
+
+/// Knobs of the delta channel's vantage side.
+struct delta_summary_config {
+  /// Every Nth report is a full baseline (the first always is). 1 = every
+  /// report full: the cadence-matched baseline the benches compare against.
+  std::uint64_t resync_every = 16;
+  /// Change bar in overflow units (T * H / tau packets): an entry ships
+  /// when its estimate moved at least this much since last shipped. 0
+  /// ships every entry every report (naive; for measurement only).
+  double change_bar_units = 1.0;
+  /// Fixed report cadence in ingress packets; 0 = budget-gated pacing
+  /// (accrue bytes_per_packet, ship when the allowance covers the report).
+  std::uint64_t cadence_packets = 0;
+};
+
+/// Vantage side of the delta channel: a full-rate local H-Memento plus
+/// epoch-tagged full/delta emission against the last SHIPPED estimates.
+template <typename H>
+class delta_summary_point {
+ public:
+  using key_type = typename H::key_type;
+
+  delta_summary_point(std::uint32_t id, std::uint64_t local_window, std::size_t counters,
+                      const budget_model& budget, const delta_summary_config& delta_config = {},
+                      std::uint64_t seed = 1)
+      : algo_(h_memento_config{local_window, counters, /*tau=*/1.0, /*delta=*/1e-3,
+                               seed ^ (0x726d75530ULL * (id + 1))}),
+        budget_(budget),
+        config_(delta_config),
+        id_(id) {
+    if (config_.resync_every == 0) config_.resync_every = 1;
+  }
+
+  /// Observes one ingress packet; returns an encoded report when due.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> observe(const packet& p) {
+    algo_.update(p);
+    ++covered_;
+    ++observed_total_;
+    accrued_ += budget_.bytes_per_packet;
+    if (algo_.inner().candidate_count() == 0) return std::nullopt;
+
+    const bool full_due = epoch_ % config_.resync_every == 0;  // epoch_ counts SENT reports
+    if (config_.cadence_packets != 0) {
+      if (covered_ < config_.cadence_packets) return std::nullopt;
+    } else {
+      // Budget pacing: gate on a cheap estimate first (like summary_point),
+      // assuming the worst case - all candidates changed - for a delta.
+      const std::size_t entries = algo_.inner().candidate_count();
+      const double estimated =
+          kPayloadPreambleBytes + (full_due ? budget_.summary_report_bytes(entries)
+                                            : budget_.summary_delta_report_bytes(entries, 0));
+      if (accrued_ < estimated && !full_due) {
+        // A delta can be far cheaper than the all-changed bound; only the
+        // encode can tell, so fall through when even the lower removal-only
+        // floor is covered.
+        if (accrued_ < kPayloadPreambleBytes + budget_.summary_delta_report_bytes(0, 0)) {
+          return std::nullopt;
+        }
+      } else if (accrued_ < estimated && full_due) {
+        return std::nullopt;
+      }
+    }
+
+    auto payload = full_due ? encode_full() : encode_delta();
+    if (!payload) return std::nullopt;  // delta had nothing to say; keep accruing
+    const double actual = budget_.overhead_bytes + static_cast<double>(payload->size());
+    if (config_.cadence_packets == 0 && accrued_ < actual) return std::nullopt;
+    accrued_ -= actual;
+    if (accrued_ < 0.0) accrued_ = 0.0;
+    bytes_sent_ += actual;
+    covered_ = 0;
+    ++epoch_;
+    ++reports_sent_;
+    full_due ? ++full_reports_ : ++delta_reports_;
+    return payload;
+  }
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t observed_total() const noexcept { return observed_total_; }
+  [[nodiscard]] std::uint64_t reports_sent() const noexcept { return reports_sent_; }
+  [[nodiscard]] std::uint64_t full_reports() const noexcept { return full_reports_; }
+  [[nodiscard]] std::uint64_t delta_reports() const noexcept { return delta_reports_; }
+  [[nodiscard]] double bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] const h_memento<H>& algorithm() const noexcept { return algo_; }
+
+ private:
+  static constexpr double kPayloadPreambleBytes = 83.0;  ///< summary preamble + epoch + kind
+
+  /// The change bar in packets: estimates quantize at the sketch's overflow
+  /// granularity T * H / tau, so anything below `units` of that is residue
+  /// noise, not information.
+  [[nodiscard]] double change_bar() const noexcept {
+    return config_.change_bar_units * static_cast<double>(algo_.inner().overflow_threshold()) *
+           static_cast<double>(H::hierarchy_size) / algo_.tau();
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> encode_full() {
+    delta_summary_report<key_type> report;
+    report.origin = id_;
+    report.covered_packets = covered_;
+    report.epoch = epoch_ + 1;
+    report.kind = summary_kind::full;
+    report.summary = window_summary<key_type>::from_hhh(algo_);
+    shipped_.clear();
+    report.summary.for_each([&](const key_type& key, double est) { shipped_[key] = est; });
+    return encode_delta_summary_report(report);
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> encode_delta() {
+    const auto current = window_summary<key_type>::from_hhh(algo_);
+    delta_summary_report<key_type> report;
+    report.origin = id_;
+    report.covered_packets = covered_;
+    report.epoch = epoch_ + 1;
+    report.kind = summary_kind::delta;
+    report.window = current.window_size();
+    report.stream = current.stream_length();
+    report.width = current.estimate_width();
+    report.miss_upper = current.miss_bound();
+    const double bar = change_bar();
+    current.for_each([&](const key_type& key, double est) {
+      const auto it = shipped_.find(key);
+      if (it == shipped_.end() || std::abs(est - it->second) >= bar) {
+        report.changed.push_back({key, est});
+      }
+    });
+    for (const auto& [key, est] : shipped_) {
+      if (!current.contains(key)) report.removed.push_back(key);
+    }
+    if (report.changed.empty() && report.removed.empty()) return std::nullopt;
+    for (const auto& [key, est] : report.changed) shipped_[key] = est;
+    for (const key_type& key : report.removed) shipped_.erase(key);
+    return encode_delta_summary_report(report);
+  }
+
+  h_memento<H> algo_;
+  budget_model budget_;
+  delta_summary_config config_;
+  std::uint32_t id_;
+  std::unordered_map<key_type, double> shipped_;  ///< last shipped estimate per key
+  double accrued_ = 0.0;
+  double bytes_sent_ = 0.0;
+  std::uint64_t covered_ = 0;
+  std::uint64_t observed_total_ = 0;
+  std::uint64_t epoch_ = 0;  ///< == reports actually sent
+  std::uint64_t reports_sent_ = 0;
+  std::uint64_t full_reports_ = 0;
+  std::uint64_t delta_reports_ = 0;
+};
+
+/// Controller side of the delta channel: per-origin baseline patched by
+/// deltas, with strict epoch sequencing - a delta applies only to the exact
+/// baseline it was computed against; gaps or reordering desync the origin
+/// until its next full report.
+template <typename H>
+class delta_summary_controller {
+ public:
+  using key_type = typename H::key_type;
+
+  /// Applies one report; false when it was rejected (stale epoch, or a
+  /// delta against a baseline this controller does not hold).
+  bool on_report(delta_summary_report<key_type> report) {
+    auto& st = origins_[report.origin];
+    ++reports_;
+    if (report.epoch <= st.epoch && st.epoch != 0) {
+      ++rejected_;  // stale or replayed
+      return false;
+    }
+    if (report.kind == summary_kind::full) {
+      st.baseline = std::move(report.summary);
+      st.epoch = report.epoch;
+      st.synced = true;
+      return true;
+    }
+    // A delta is only meaningful against the exact predecessor baseline.
+    if (!st.synced || report.epoch != st.epoch + 1) {
+      st.synced = false;  // await the next full resync
+      ++rejected_;
+      return false;
+    }
+    for (const auto& [key, est] : report.changed) st.baseline.upsert(key, est);
+    for (const key_type& key : report.removed) st.baseline.erase(key);
+    st.baseline.set_scalars(report.window, report.stream, report.width, report.miss_upper);
+    st.epoch = report.epoch;
+    return true;
+  }
+
+  /// One-sided global estimate (see summary_controller::query).
+  [[nodiscard]] double query(const key_type& prefix) const {
+    double total = 0.0;
+    for (const auto& [origin, st] : origins_) total += st.baseline.query(prefix);
+    return total;
+  }
+
+  /// Entry-sum estimate (near-unbiased; no miss-bound padding).
+  [[nodiscard]] double query_point(const key_type& prefix) const {
+    double total = 0.0;
+    for (const auto& [origin, st] : origins_) total += st.baseline.query_entry(prefix);
+    return total;
+  }
+
+  /// HHH over the merged candidate union (see summary_controller::output).
+  [[nodiscard]] std::vector<hhh_entry<key_type>> output(double theta,
+                                                       std::uint64_t window) const {
+    std::vector<key_type> candidates;
+    for (const auto& [origin, st] : origins_) {
+      st.baseline.for_each([&](const key_type& key, double) { candidates.push_back(key); });
+    }
+    return solve_hhh<H>(
+        std::move(candidates),
+        [this](const key_type& k) {
+          const double point = query_point(k);
+          return freq_bounds{point, point};
+        },
+        theta * static_cast<double>(window), /*compensation=*/0.0);
+  }
+
+  [[nodiscard]] std::size_t vantages_heard() const noexcept { return origins_.size(); }
+  [[nodiscard]] std::uint64_t reports_received() const noexcept { return reports_; }
+  [[nodiscard]] std::uint64_t reports_rejected() const noexcept { return rejected_; }
+
+ private:
+  struct origin_state {
+    window_summary<key_type> baseline;
+    std::uint64_t epoch = 0;
+    bool synced = false;
+  };
+  std::unordered_map<std::uint32_t, origin_state> origins_;
+  std::uint64_t reports_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace memento::netwide

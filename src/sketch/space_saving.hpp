@@ -33,6 +33,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/compress.hpp"
 #include "util/flat_hash.hpp"
 #include "util/simd.hpp"
 #include "util/wire.hpp"
@@ -221,6 +222,9 @@ class space_saving {
 
   static constexpr std::uint16_t kWireTag = 0x5353;  ///< "SS"
   static constexpr std::uint16_t kWireVersion = 1;
+  /// Streamed framing (wire::sink/source): structure-of-arrays columns with
+  /// per-column compression (util/compress.hpp) and a section CRC.
+  static constexpr std::uint16_t kWireVersionStream = 2;
 
   /// Serializes the full structure as one versioned section.
   void save(wire::writer& w) const {
@@ -259,6 +263,14 @@ class space_saving {
   /// counts, doubly linked, chains owning their counters, free list
   /// disjoint), so later operations are correct by construction.
   [[nodiscard]] static std::optional<space_saving> restore(wire::reader& r) {
+    std::uint16_t ptag = 0, pver = 0;
+    if (r.peek_section(ptag, pver) && ptag == kWireTag && pver == kWireVersionStream) {
+      wire::source src(r.rest());
+      auto out = restore(src);
+      if (!out) return std::nullopt;
+      r.skip(src.consumed());
+      return out;
+    }
     std::uint16_t version = 0;
     wire::reader body;
     if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
@@ -282,96 +294,175 @@ class space_saving {
     out.min_bucket_ = min_bucket;
     out.bucket_free_ = bucket_free;
     out.buckets_.resize(static_cast<std::size_t>(nbuckets));
-    const auto link_ok = [](std::uint32_t link, std::uint64_t bound) {
-      return link == npos || link < bound;
-    };
     for (auto& b : out.buckets_) {
       if (!body.varint(b.count) || !body.u32(b.head) || !body.u32(b.prev) || !body.u32(b.next)) {
-        return std::nullopt;
-      }
-      if (!link_ok(b.head, used) || !link_ok(b.prev, nbuckets) || !link_ok(b.next, nbuckets)) {
         return std::nullopt;
       }
     }
     if (used * 26 > body.remaining()) return std::nullopt;
     for (std::size_t i = 0; i < out.used_; ++i) {
       cnode& m = out.nodes_[i];
-      if (!wire::codec<Key>::get(body, out.nodes_[i].key) || !body.varint(out.counts_[i]) ||
-          !body.varint(out.nodes_[i].overest)) {
+      if (!wire::codec<Key>::get(body, m.key) || !body.varint(out.counts_[i]) ||
+          !body.varint(m.overest)) {
         return std::nullopt;
       }
       if (!body.u32(m.prev) || !body.u32(m.next) || !body.u32(m.bucket) || !body.u32(m.islot)) {
         return std::nullopt;
       }
-      if (out.counts_[i] == 0 || out.nodes_[i].overest >= out.counts_[i]) return std::nullopt;
-      if (!link_ok(m.prev, used) || !link_ok(m.next, used)) return std::nullopt;
-      if (m.bucket >= nbuckets) return std::nullopt;  // live counters own a bucket
     }
-    if (!link_ok(min_bucket, nbuckets) || !link_ok(bucket_free, nbuckets)) return std::nullopt;
-    // The eviction path dereferences buckets_[min_bucket_].head whenever the
-    // structure is non-empty; an empty structure must have no minimum.
-    if ((out.used_ > 0) != (min_bucket != npos)) return std::nullopt;
-    // Topology: range-valid links are not enough - a counter pointing at
-    // the wrong (but in-range) bucket would silently corrupt counts on the
-    // next add. Walk the live bucket list (ascending, doubly linked, every
-    // chain owning its counters at the bucket's count) and the free list,
-    // and require them to partition the node arrays exactly.
-    std::vector<std::uint8_t> counter_seen(out.used_, 0);
-    std::vector<std::uint8_t> bucket_seen(out.buckets_.size(), 0);
-    std::uint64_t live_counters = 0;
-    std::uint64_t prev_count = 0;
-    std::uint32_t prev_bkt = npos;
-    for (std::uint32_t bkt = min_bucket; bkt != npos; bkt = out.buckets_[bkt].next) {
-      if (bucket_seen[bkt]) return std::nullopt;  // cycle
-      bucket_seen[bkt] = 1;
-      const bucket_node& b = out.buckets_[bkt];
-      if (b.prev != prev_bkt) return std::nullopt;
-      if (prev_bkt != npos && b.count <= prev_count) return std::nullopt;  // ascending
-      if (b.head == npos) return std::nullopt;  // emptied buckets are freed, never linked
-      prev_count = b.count;
-      prev_bkt = bkt;
-      std::uint32_t prev_counter = npos;
-      for (std::uint32_t c = b.head; c != npos; c = out.nodes_[c].next) {
-        if (counter_seen[c]) return std::nullopt;  // cycle or shared counter
-        counter_seen[c] = 1;
-        if (out.nodes_[c].bucket != bkt || out.counts_[c] != b.count ||
-            out.nodes_[c].prev != prev_counter) {
-          return std::nullopt;
-        }
-        prev_counter = c;
-        ++live_counters;
-      }
-    }
-    if (live_counters != out.used_) return std::nullopt;
-    for (std::uint32_t bkt = bucket_free; bkt != npos; bkt = out.buckets_[bkt].next) {
-      if (bucket_seen[bkt]) return std::nullopt;  // cycle, or stealing a live node
-      bucket_seen[bkt] = 1;
-    }
-    for (const std::uint8_t seen : bucket_seen) {
-      if (!seen) return std::nullopt;  // every node is live or free, nothing leaks
-    }
-
+    if (!out.restored_topology_valid()) return std::nullopt;
     if (!out.index_.restore(body) || !body.done()) return std::nullopt;
-    if (out.index_.size() != out.used_) return std::nullopt;
-    // The index must keep the constructor's headroom (reserve(2 * cap)):
-    // add()'s prehashed probes assume the table never needs to grow, so an
-    // undersized image would overflow or spin on a later add, and bucket()
-    // values computed against it would be wrong. Honest saves always ship
-    // the reserved capacity; anything smaller is malformed.
-    if (out.index_.capacity() - out.index_.capacity() / 4 < 2 * out.capacity()) {
+    if (!out.restored_index_valid()) return std::nullopt;
+    return out;
+  }
+
+  /// Streamed, compressed counterpart of save(): the same state shipped as
+  /// structure-of-arrays columns (matching the in-memory split), each
+  /// through the codec that fits it - zig-zag deltas for the count arrays,
+  /// FoR blocks for keys and link indices. npos links are mapped to 0 on
+  /// the wire (real links shift up by one) so the 2^32-1 sentinel does not
+  /// blow every frame of reference.
+  void save(wire::sink& s, bool packed = true) const {
+    s.begin_section(kWireTag, kWireVersionStream);
+    s.u8(packed ? wire::kCodecPacked : 0);
+    s.varint(capacity());
+    s.varint(used_);
+    s.u64(adds_);
+    s.u32(min_bucket_);
+    s.u32(bucket_free_);
+    s.varint(buckets_.size());
+    std::size_t i = 0;
+    wire::put_zigzag_u64(s, buckets_.size(), [&] { return buckets_[i++].count; });
+    i = 0;
+    wire::put_u64_array(s, buckets_.size(), packed, [&] { return wire_link(buckets_[i++].head); });
+    i = 0;
+    wire::put_u64_array(s, buckets_.size(), packed, [&] { return wire_link(buckets_[i++].prev); });
+    i = 0;
+    wire::put_u64_array(s, buckets_.size(), packed, [&] { return wire_link(buckets_[i++].next); });
+    i = 0;
+    wire::put_u64_array(s, used_, packed,
+                        [&] { return wire::codec<Key>::to_u64(nodes_[i++].key); });
+    i = 0;
+    wire::put_zigzag_u64(s, used_, [&] { return counts_[i++]; });
+    i = 0;
+    wire::put_zigzag_u64(s, used_, [&] { return nodes_[i++].overest; });
+    i = 0;
+    wire::put_u64_array(s, used_, packed, [&] { return wire_link(nodes_[i++].prev); });
+    i = 0;
+    wire::put_u64_array(s, used_, packed, [&] { return wire_link(nodes_[i++].next); });
+    i = 0;
+    wire::put_u64_array(s, used_, packed, [&] { return wire_link(nodes_[i++].bucket); });
+    i = 0;
+    wire::put_u64_array(s, used_, packed,
+                        [&] { return static_cast<std::uint64_t>(nodes_[i++].islot); });
+    // The key index is fully determined by the columns above: entry i lives
+    // at slot islot[i] with key key[i] and value i. Shipping only its
+    // capacity and rebuilding at restore saves a second copy of every key
+    // (plus positions and values) - the largest single block of v1 wire.
+    s.varint(index_.capacity());
+    s.end_section();
+  }
+
+  /// Rebuilds an instance from streamed save() output, under the exact
+  /// validation contract of the buffered restore() - the columns land in the
+  /// same arrays and go through the same topology / index cross-checks, plus
+  /// the section CRC (which is what catches bit flips that still decode to
+  /// range-valid values inside packed blocks).
+  [[nodiscard]] static std::optional<space_saving> restore(wire::source& s) {
+    std::uint16_t version = 0;
+    if (!s.open_section(kWireTag, version) || version != kWireVersionStream) return std::nullopt;
+    std::uint8_t flags = 0;
+    if (!s.u8(flags) || (flags & ~wire::kCodecKnownMask) != 0) return std::nullopt;
+    const bool packed = (flags & wire::kCodecPacked) != 0;
+    std::uint64_t cap = 0, used = 0, nbuckets = 0, adds = 0;
+    std::uint32_t min_bucket = 0, bucket_free = 0;
+    if (!s.varint(cap) || !s.varint(used) || !s.u64(adds) || !s.u32(min_bucket) ||
+        !s.u32(bucket_free) || !s.varint(nbuckets)) {
       return std::nullopt;
     }
-    // Cross-check: the index must be a bijection onto the live counters,
-    // with each counter's islot naming its key's exact slot. Together with
-    // the size check this rejects duplicated or dangling entries.
-    bool consistent = true;
-    out.index_.for_each_slot([&](std::size_t pos, const Key& key, std::uint32_t value) {
-      if (value >= out.used_ || !(out.nodes_[value].key == key) ||
-          out.nodes_[value].islot != pos) {
-        consistent = false;
-      }
-    });
-    if (!consistent) return std::nullopt;
+    if (cap == 0 || cap >= npos || cap > kMaxRestoreCounters) return std::nullopt;
+    if (used > cap || nbuckets > 2 * cap + 2) return std::nullopt;
+
+    space_saving out(static_cast<std::size_t>(cap));
+    out.used_ = static_cast<std::size_t>(used);
+    out.adds_ = adds;
+    out.min_bucket_ = min_bucket;
+    out.bucket_free_ = bucket_free;
+    out.buckets_.resize(static_cast<std::size_t>(nbuckets));
+    const auto read_links = [&](std::uint64_t n, auto&& set) {
+      std::size_t j = 0;
+      return wire::get_u64_array(s, static_cast<std::size_t>(n), packed, [&](std::uint64_t raw) {
+        std::uint32_t link = 0;
+        if (!unwire_link(raw, link)) return false;
+        set(j++, link);
+        return true;
+      });
+    };
+    std::size_t i = 0;
+    if (!wire::get_zigzag_u64(s, nbuckets, [&](std::uint64_t v) {
+          out.buckets_[i++].count = v;
+          return true;
+        })) {
+      return std::nullopt;
+    }
+    if (!read_links(nbuckets, [&](std::size_t j, std::uint32_t v) { out.buckets_[j].head = v; }) ||
+        !read_links(nbuckets, [&](std::size_t j, std::uint32_t v) { out.buckets_[j].prev = v; }) ||
+        !read_links(nbuckets, [&](std::size_t j, std::uint32_t v) { out.buckets_[j].next = v; })) {
+      return std::nullopt;
+    }
+    i = 0;
+    if (!wire::get_u64_array(s, used, packed, [&](std::uint64_t raw) {
+          return wire::codec<Key>::from_u64(raw, out.nodes_[i++].key);
+        })) {
+      return std::nullopt;
+    }
+    i = 0;
+    if (!wire::get_zigzag_u64(s, used, [&](std::uint64_t v) {
+          out.counts_[i++] = v;
+          return true;
+        })) {
+      return std::nullopt;
+    }
+    i = 0;
+    if (!wire::get_zigzag_u64(s, used, [&](std::uint64_t v) {
+          out.nodes_[i++].overest = v;
+          return true;
+        })) {
+      return std::nullopt;
+    }
+    if (!read_links(used, [&](std::size_t j, std::uint32_t v) { out.nodes_[j].prev = v; }) ||
+        !read_links(used, [&](std::size_t j, std::uint32_t v) { out.nodes_[j].next = v; }) ||
+        !read_links(used, [&](std::size_t j, std::uint32_t v) { out.nodes_[j].bucket = v; })) {
+      return std::nullopt;
+    }
+    i = 0;
+    if (!wire::get_u64_array(s, used, packed, [&](std::uint64_t raw) {
+          if (raw > npos) return false;
+          out.nodes_[i++].islot = static_cast<std::uint32_t>(raw);
+          return true;
+        })) {
+      return std::nullopt;
+    }
+    if (!out.restored_topology_valid()) return std::nullopt;
+    // Rebuild the key index from the node columns at the exact saved
+    // capacity and slot positions, so a v1 re-save of the restored object
+    // is byte-identical to a v1 re-save of the original. rebuild_placed
+    // rejects out-of-range or colliding islot values and unreachable probe
+    // layouts; restored_index_valid still cross-checks the bijection.
+    std::uint64_t icap = 0;
+    if (!s.varint(icap)) return std::nullopt;
+    std::size_t j = 0;
+    if (!out.index_.rebuild_placed(
+            icap, used, [&](std::uint64_t, std::uint64_t& pos, Key& key, std::uint64_t& value) {
+              pos = out.nodes_[j].islot;
+              key = out.nodes_[j].key;
+              value = j;
+              ++j;
+            })) {
+      return std::nullopt;
+    }
+    if (!out.restored_index_valid()) return std::nullopt;
+    if (!s.close_section()) return std::nullopt;
     return out;
   }
 
@@ -408,6 +499,105 @@ class space_saving {
     std::uint32_t prev = npos;  ///< bucket with the next-smaller count
     std::uint32_t next = npos;  ///< bucket with the next-larger count
   };
+
+  /// Wire image of a link field: npos becomes 0, real links shift up by
+  /// one. Keeps the 2^32-1 sentinel out of FoR frames of reference (one
+  /// npos in a column of small indices would force 32-bit deltas).
+  [[nodiscard]] static std::uint64_t wire_link(std::uint32_t link) noexcept {
+    return link == npos ? 0 : static_cast<std::uint64_t>(link) + 1;
+  }
+
+  /// Inverse of wire_link; rejects values that would alias npos.
+  [[nodiscard]] static bool unwire_link(std::uint64_t raw, std::uint32_t& link) noexcept {
+    if (raw > npos) return false;  // raw - 1 would forge npos or overflow
+    link = raw == 0 ? npos : static_cast<std::uint32_t>(raw - 1);
+    return true;
+  }
+
+  /// Shared restore validation, phase 1: everything checkable without the
+  /// key index. Range-checks every link and count, then walks the live
+  /// bucket list (ascending, doubly linked, every chain owning its counters
+  /// at the bucket's count) and the free list, requiring them to partition
+  /// the bucket array exactly - range-valid links are not enough, a counter
+  /// pointing at the wrong (but in-range) bucket would silently corrupt
+  /// counts on the next add.
+  [[nodiscard]] bool restored_topology_valid() const {
+    const std::uint64_t nbuckets = buckets_.size();
+    const auto link_ok = [](std::uint32_t link, std::uint64_t bound) {
+      return link == npos || link < bound;
+    };
+    for (const auto& b : buckets_) {
+      if (!link_ok(b.head, used_) || !link_ok(b.prev, nbuckets) || !link_ok(b.next, nbuckets)) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < used_; ++i) {
+      const cnode& m = nodes_[i];
+      if (counts_[i] == 0 || m.overest >= counts_[i]) return false;
+      if (!link_ok(m.prev, used_) || !link_ok(m.next, used_)) return false;
+      if (m.bucket >= nbuckets) return false;  // live counters own a bucket
+    }
+    if (!link_ok(min_bucket_, nbuckets) || !link_ok(bucket_free_, nbuckets)) return false;
+    // The eviction path dereferences buckets_[min_bucket_].head whenever the
+    // structure is non-empty; an empty structure must have no minimum.
+    if ((used_ > 0) != (min_bucket_ != npos)) return false;
+    std::vector<std::uint8_t> counter_seen(used_, 0);
+    std::vector<std::uint8_t> bucket_seen(buckets_.size(), 0);
+    std::uint64_t live_counters = 0;
+    std::uint64_t prev_count = 0;
+    std::uint32_t prev_bkt = npos;
+    for (std::uint32_t bkt = min_bucket_; bkt != npos; bkt = buckets_[bkt].next) {
+      if (bucket_seen[bkt]) return false;  // cycle
+      bucket_seen[bkt] = 1;
+      const bucket_node& b = buckets_[bkt];
+      if (b.prev != prev_bkt) return false;
+      if (prev_bkt != npos && b.count <= prev_count) return false;  // ascending
+      if (b.head == npos) return false;  // emptied buckets are freed, never linked
+      prev_count = b.count;
+      prev_bkt = bkt;
+      std::uint32_t prev_counter = npos;
+      for (std::uint32_t c = b.head; c != npos; c = nodes_[c].next) {
+        if (counter_seen[c]) return false;  // cycle or shared counter
+        counter_seen[c] = 1;
+        if (nodes_[c].bucket != bkt || counts_[c] != b.count || nodes_[c].prev != prev_counter) {
+          return false;
+        }
+        prev_counter = c;
+        ++live_counters;
+      }
+    }
+    if (live_counters != used_) return false;
+    for (std::uint32_t bkt = bucket_free_; bkt != npos; bkt = buckets_[bkt].next) {
+      if (bucket_seen[bkt]) return false;  // cycle, or stealing a live node
+      bucket_seen[bkt] = 1;
+    }
+    for (const std::uint8_t seen : bucket_seen) {
+      if (!seen) return false;  // every node is live or free, nothing leaks
+    }
+    return true;
+  }
+
+  /// Shared restore validation, phase 2: the key index against the counter
+  /// arrays, after index_ itself has been restored.
+  [[nodiscard]] bool restored_index_valid() const {
+    if (index_.size() != used_) return false;
+    // The index must keep the constructor's headroom (reserve(2 * cap)):
+    // add()'s prehashed probes assume the table never needs to grow, so an
+    // undersized image would overflow or spin on a later add, and bucket()
+    // values computed against it would be wrong. Honest saves always ship
+    // the reserved capacity; anything smaller is malformed.
+    if (index_.capacity() - index_.capacity() / 4 < 2 * capacity()) return false;
+    // Cross-check: the index must be a bijection onto the live counters,
+    // with each counter's islot naming its key's exact slot. Together with
+    // the size check this rejects duplicated or dangling entries.
+    bool consistent = true;
+    index_.for_each_slot([&](std::size_t pos, const Key& key, std::uint32_t value) {
+      if (value >= used_ || !(nodes_[value].key == key) || nodes_[value].islot != pos) {
+        consistent = false;
+      }
+    });
+    return consistent;
+  }
 
   /// Allocates a bucket node, recycling from the free list when possible.
   std::uint32_t new_bucket(std::uint64_t count) {

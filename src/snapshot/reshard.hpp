@@ -70,13 +70,7 @@ class snapshot_builder {
   template <typename Key>
   [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(
       const sharded_memento<Key>& old, const shard_config& config) {
-    if (config.shards == 0 || config.window_size == 0 || config.counters == 0) {
-      return std::nullopt;
-    }
-    if (!compatible(old, config)) return std::nullopt;
-    sharded_memento<Key> fresh(config);
-    if (!transport(old, fresh)) return std::nullopt;
-    return fresh;
+    return reshard_impl(old, config, /*table=*/nullptr);
   }
 
   /// Weighted overload: the replacement frontend routes through `table`
@@ -87,25 +81,46 @@ class snapshot_builder {
   template <typename Key>
   [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(
       const sharded_memento<Key>& old, const shard_config& config, const shard_table& table) {
-    if (config.shards == 0 || config.window_size == 0 || config.counters == 0) {
-      return std::nullopt;
-    }
-    if (!table.valid_for(config.shards)) return std::nullopt;
-    if (!compatible(old, config)) return std::nullopt;
-    sharded_memento<Key> fresh(config, table);
-    if (!transport(old, fresh)) return std::nullopt;
-    return fresh;
+    return reshard_impl(old, config, &table);
   }
+
   /// Snapshot-bytes overload: restore the old frontend, then reshard it.
   template <typename Key>
   [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(
       std::span<const std::uint8_t> snapshot_bytes, const shard_config& config) {
     auto old = snapshot::restore<sharded_memento<Key>>(snapshot_bytes);
     if (!old) return std::nullopt;
-    return reshard(*old, config);
+    return reshard_impl(*old, config, /*table=*/nullptr);
+  }
+
+  /// Streamed-snapshot overload: the old frontend arrives through a
+  /// wire::source (a controller pulling a checkpoint off the network or
+  /// disk in chunks) instead of a materialized buffer - the only O(state)
+  /// memory is the restored frontend itself, never a byte image of it.
+  template <typename Key>
+  [[nodiscard]] static std::optional<sharded_memento<Key>> reshard(wire::source& snapshot_stream,
+                                                                  const shard_config& config) {
+    auto old = snapshot::stream_restore<sharded_memento<Key>>(snapshot_stream);
+    if (!old) return std::nullopt;
+    return reshard_impl(*old, config, /*table=*/nullptr);
   }
 
  private:
+  /// The single guard + construct + transport path every public overload
+  /// lands on; `table` selects TABLE-mode routing when non-null.
+  template <typename Key>
+  [[nodiscard]] static std::optional<sharded_memento<Key>> reshard_impl(
+      const sharded_memento<Key>& old, const shard_config& config, const shard_table* table) {
+    if (config.shards == 0 || config.window_size == 0 || config.counters == 0) {
+      return std::nullopt;
+    }
+    if (table != nullptr && !table->valid_for(config.shards)) return std::nullopt;
+    if (!compatible(old, config)) return std::nullopt;
+    auto fresh = table != nullptr ? sharded_memento<Key>(config, *table)
+                                  : sharded_memento<Key>(config);
+    if (!transport(old, fresh)) return std::nullopt;
+    return fresh;
+  }
   /// Source shards must be one geometry (restore() accepts any sequence of
   /// individually valid shards; reshard does not), and the target must keep
   /// tau and the per-shard overflow threshold - i.e. the same GLOBAL

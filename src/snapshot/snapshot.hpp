@@ -59,4 +59,45 @@ template <typename T>
   return out;
 }
 
+// --- streamed envelope -------------------------------------------------------
+// Same magic, same no-trailing-garbage rule, but the state flows through a
+// wire::sink / wire::source in chunks: peak buffering is the sink's chunk
+// size (64 KB by default) no matter how big the deployment - this is the
+// entry point a controller thread uses to checkpoint a live 1M-counter
+// sharded frontend without an O(state) temporary. The sections it frames
+// are the v2 (compressed, CRC-protected) formats.
+
+/// Streams `object` into `s` as a self-contained snapshot and finishes the
+/// sink (flushing the tail chunk). Returns false if the sink failed - a
+/// refused write callback, or an unbalanced section (a bug, not an input).
+template <typename T>
+[[nodiscard]] bool stream_save(const T& object, wire::sink& s, bool packed = true) {
+  s.u32(kMagic);
+  object.save(s, packed);
+  return s.finish();
+}
+
+/// Rebuilds a T from a streamed snapshot. nullopt on a wrong magic, a
+/// type/version mismatch, a CRC mismatch, any structural corruption, or
+/// trailing bytes after the object.
+template <typename T>
+[[nodiscard]] std::optional<T> stream_restore(wire::source& s) {
+  std::uint32_t magic = 0;
+  if (!s.u32(magic) || magic != kMagic) return std::nullopt;
+  auto out = T::restore(s);
+  if (!out || !s.done()) return std::nullopt;
+  return out;
+}
+
+/// Buffer-returning convenience over stream_save: the streamed (v2) image
+/// in one vector. Byte-identical to what a chunked sink produces, so tests
+/// and small tools can use it interchangeably with the callback form.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> save_streamed(const T& object, bool packed = true) {
+  std::vector<std::uint8_t> out;
+  wire::sink s(out);
+  if (!stream_save(object, s, packed)) return {};
+  return out;
+}
+
 }  // namespace memento::snapshot

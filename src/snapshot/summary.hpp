@@ -37,6 +37,7 @@
 #include "core/h_memento.hpp"
 #include "core/memento.hpp"
 #include "shard/sharded_memento.hpp"
+#include "util/compress.hpp"
 #include "util/flat_hash.hpp"
 #include "util/wire.hpp"
 
@@ -182,6 +183,10 @@ class window_summary {
 
   static constexpr std::uint16_t kWireTag = 0x5753;  ///< "WS"
   static constexpr std::uint16_t kWireVersion = 1;
+  /// Streamed framing (wire::sink/source): FoR-packed key column + section
+  /// CRC. Keys ship in entry (merge) order, so a streamed round trip
+  /// preserves the exact entry sequence like the buffered one does.
+  static constexpr std::uint16_t kWireVersionStream = 2;
 
   /// Serializes the summary as one versioned section.
   void save(wire::writer& w) const {
@@ -201,6 +206,14 @@ class window_summary {
   /// Rebuilds a summary from save() output; nullopt on malformed input
   /// (truncation, duplicate keys, lying counts) - never a crash.
   [[nodiscard]] static std::optional<window_summary> restore(wire::reader& r) {
+    std::uint16_t ptag = 0, pver = 0;
+    if (r.peek_section(ptag, pver) && ptag == kWireTag && pver == kWireVersionStream) {
+      wire::source src(r.rest());
+      auto out = restore(src);
+      if (!out) return std::nullopt;
+      r.skip(src.consumed());
+      return out;
+    }
     std::uint16_t version = 0;
     wire::reader body;
     if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
@@ -221,6 +234,95 @@ class window_summary {
     s.rebuild_index();
     if (s.index_.size() != s.entries_.size()) return std::nullopt;  // duplicate keys
     return s;
+  }
+
+  /// Streamed counterpart of save(): scalars, one FoR key column (entry
+  /// order), one f64 estimate column.
+  void save(wire::sink& s, bool packed = true) const {
+    s.begin_section(kWireTag, kWireVersionStream);
+    s.u8(packed ? wire::kCodecPacked : 0);
+    s.varint(window_);
+    s.varint(stream_);
+    s.f64(width_);
+    s.f64(miss_upper_);
+    s.varint(entries_.size());
+    std::size_t i = 0;
+    wire::put_u64_array(s, entries_.size(), packed,
+                        [&] { return wire::codec<Key>::to_u64(entries_[i++].key); });
+    for (const heavy_hitter& e : entries_) s.f64(e.estimate);
+    s.end_section();
+  }
+
+  /// Rebuilds a summary from streamed save() output.
+  [[nodiscard]] static std::optional<window_summary> restore(wire::source& s) {
+    std::uint16_t version = 0;
+    if (!s.open_section(kWireTag, version) || version != kWireVersionStream) return std::nullopt;
+    std::uint8_t flags = 0;
+    if (!s.u8(flags) || (flags & ~wire::kCodecKnownMask) != 0) return std::nullopt;
+    const bool packed = (flags & wire::kCodecPacked) != 0;
+    window_summary out;
+    std::uint64_t count = 0;
+    if (!s.varint(out.window_) || !s.varint(out.stream_) || !s.f64(out.width_) ||
+        !s.f64(out.miss_upper_) || !s.varint(count)) {
+      return std::nullopt;
+    }
+    // A stream has no byte budget to check a lying count against; 2^21
+    // entries (64 MB) is far beyond any real summary (candidate sets are
+    // bounded by the global counter budget) while bounding the allocation.
+    if (count > (std::uint64_t{1} << 21)) return std::nullopt;
+    out.entries_.resize(static_cast<std::size_t>(count));
+    std::size_t i = 0;
+    if (!wire::get_u64_array(s, static_cast<std::size_t>(count), packed, [&](std::uint64_t raw) {
+          return wire::codec<Key>::from_u64(raw, out.entries_[i++].key);
+        })) {
+      return std::nullopt;
+    }
+    for (heavy_hitter& e : out.entries_) {
+      if (!s.f64(e.estimate)) return std::nullopt;
+    }
+    if (!s.close_section()) return std::nullopt;
+    out.rebuild_index();
+    if (out.index_.size() != out.entries_.size()) return std::nullopt;  // duplicate keys
+    return out;
+  }
+
+  // --- delta-channel mutators ------------------------------------------------
+  // The delta summary channel (netwide/summary_channel.hpp) patches a
+  // controller-side baseline in place instead of replacing it: changed
+  // candidates are upserted, dropped candidates erased, and the scalar
+  // header (window/stream/width/miss bound) refreshed each report.
+
+  /// Inserts or overwrites one candidate's estimate.
+  void upsert(const Key& key, double estimate) {
+    if (const std::uint32_t* at = index_.find(key)) {
+      entries_[*at].estimate = estimate;
+      return;
+    }
+    index_.find_or_emplace(key, 0) = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back({key, estimate});
+  }
+
+  /// Removes a candidate if present (swap-with-last, index patched).
+  void erase(const Key& key) {
+    const std::uint32_t* at = index_.find(key);
+    if (!at) return;
+    const std::uint32_t pos = *at;
+    const std::uint32_t last = static_cast<std::uint32_t>(entries_.size() - 1);
+    if (pos != last) {
+      entries_[pos] = entries_[last];
+      index_.find_or_emplace(entries_[pos].key, pos) = pos;
+    }
+    entries_.pop_back();
+    index_.erase(key);
+  }
+
+  /// Refreshes the scalar header shipped with every report.
+  void set_scalars(std::uint64_t window, std::uint64_t stream, double width,
+                   double miss_upper) noexcept {
+    window_ = window;
+    stream_ = stream;
+    width_ = width;
+    miss_upper_ = miss_upper;
   }
 
  private:

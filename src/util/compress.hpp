@@ -1,0 +1,224 @@
+// Section compression codecs for the streamed (v2) wire format: the
+// in-repo answer to "snapshots are mostly small integers stored wide".
+//
+// Three array shapes cover everything the sketches serialize:
+//
+//   * put_u64_array / get_u64_array - general unsigned columns (keys, link
+//     indices, table entries). Frame-of-reference per block of up to
+//     kPackBlock values: `varint base | u8 bits | bit-packed (v - base)`,
+//     so a column of nearby values (counter keys from one prefix range,
+//     link indices bounded by k) costs bit_width(max - min) bits per value
+//     instead of 8 bytes. bits == 0 encodes a constant block in two bytes.
+//   * put_ascending_u64 / get_ascending_u64 - strictly ascending sequences
+//     (flat_hash slot positions). Delta-minus-one transform first, then the
+//     same FoR blocks; the decoder re-validates strict ascent, so the
+//     sortedness the readers rely on cannot be forged.
+//   * put_zigzag_u64 / get_zigzag_u64 - counter-like columns serialized in
+//     near-sorted order (bucket counts ascending along the list). Zig-zag
+//     varints of consecutive differences, exact for any u64 sequence via
+//     mod-2^64 arithmetic.
+//
+// All writers take a generator (called once per value, in order) and all
+// readers a consumer (returning false to reject a value), so neither side
+// ever materializes the column: the block scratch (~16 KB of stack) is the
+// whole memory footprint, which is what lets a sink checkpoint a 1M-counter
+// deployment in bounded memory.
+//
+// The `packed` flag mirrors the section's codec-flags byte (kCodecPacked):
+// a writer may emit plain varints instead of FoR blocks (testability, and
+// the escape hatch for pathological columns), and the reader must be told
+// which it is. Readers validate everything - bits <= 64, base + delta not
+// wrapping - and the enclosing streamed section's CRC32 (wire::sink/source)
+// catches what per-value validation cannot: a bit flip inside a packed
+// block that still decodes to plausible values.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "util/wire.hpp"
+
+namespace memento::wire {
+
+/// Values per frame-of-reference block; bounds the codec scratch to ~16 KB.
+inline constexpr std::size_t kPackBlock = 1024;
+
+/// Codec-flags byte of a v2 section: bit 0 = FoR bit-packing in use.
+/// Unknown bits are a decode failure (they would change the byte layout).
+inline constexpr std::uint8_t kCodecPacked = 0x01;
+inline constexpr std::uint8_t kCodecKnownMask = 0x01;
+
+namespace detail {
+
+/// Packs m values of `bits` bits each, LSB-first, into out (zero-filled).
+inline void pack_bits(const std::uint64_t* v, std::size_t m, unsigned bits,
+                      std::uint8_t* out, std::size_t nbytes) {
+  std::memset(out, 0, nbytes);
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < m; ++i, bitpos += bits) {
+    std::uint64_t cur = v[i];
+    std::size_t byte = bitpos >> 3;
+    unsigned off = bitpos & 7;
+    unsigned left = bits;
+    while (left > 0) {
+      out[byte] |= static_cast<std::uint8_t>(cur << off);
+      const unsigned wrote = 8 - off;
+      cur = wrote >= 64 ? 0 : cur >> wrote;
+      left = left > wrote ? left - wrote : 0;
+      ++byte;
+      off = 0;
+    }
+  }
+}
+
+/// Reads the value at bit position `bitpos` (bits in [1, 64]).
+[[nodiscard]] inline std::uint64_t unpack_one(const std::uint8_t* in, std::size_t bitpos,
+                                              unsigned bits) noexcept {
+  std::uint64_t v = 0;
+  unsigned got = 0;
+  std::size_t byte = bitpos >> 3;
+  unsigned off = bitpos & 7;
+  while (got < bits) {
+    v |= static_cast<std::uint64_t>(in[byte] >> off) << got;
+    got += 8 - off;
+    ++byte;
+    off = 0;
+  }
+  return bits < 64 ? v & (~std::uint64_t{0} >> (64 - bits)) : v;
+}
+
+[[nodiscard]] inline std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] inline std::int64_t zigzag_decode(std::uint64_t z) noexcept {
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+}  // namespace detail
+
+/// Writes n values (pulled from next(), in order) as FoR blocks when
+/// `packed`, plain varints otherwise.
+template <typename NextFn>
+void put_u64_array(sink& s, std::size_t n, bool packed, NextFn&& next) {
+  std::uint64_t buf[kPackBlock];
+  std::uint8_t bytes[kPackBlock * 8];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m = std::min(kPackBlock, n - done);
+    for (std::size_t i = 0; i < m; ++i) buf[i] = next();
+    if (!packed) {
+      for (std::size_t i = 0; i < m; ++i) s.varint(buf[i]);
+    } else {
+      const auto [lo, hi] = std::minmax_element(buf, buf + m);
+      const std::uint64_t base = *lo;
+      const auto bits = static_cast<unsigned>(std::bit_width(*hi - base));
+      for (std::size_t i = 0; i < m; ++i) buf[i] -= base;
+      const std::size_t nbytes = (m * bits + 7) / 8;
+      detail::pack_bits(buf, m, bits, bytes, nbytes);
+      s.varint(base);
+      s.u8(static_cast<std::uint8_t>(bits));
+      s.bytes(std::span<const std::uint8_t>(bytes, nbytes));
+    }
+    done += m;
+  }
+}
+
+/// Reads n values written by put_u64_array, passing each to put(v) in
+/// order; false on truncation, bits > 64, a wrapping base + delta, or
+/// put() rejecting a value.
+template <typename PutFn>
+[[nodiscard]] bool get_u64_array(source& s, std::size_t n, bool packed, PutFn&& put) {
+  std::uint8_t bytes[kPackBlock * 8];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m = std::min(kPackBlock, n - done);
+    if (!packed) {
+      for (std::size_t i = 0; i < m; ++i) {
+        std::uint64_t v = 0;
+        if (!s.varint(v) || !put(v)) return false;
+      }
+    } else {
+      std::uint64_t base = 0;
+      std::uint8_t bits = 0;
+      if (!s.varint(base) || !s.u8(bits) || bits > 64) return false;
+      const std::size_t nbytes = (m * bits + 7) / 8;
+      if (!s.read(bytes, nbytes)) return false;
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t d = bits == 0 ? 0 : detail::unpack_one(bytes, i * bits, bits);
+        if (d > ~std::uint64_t{0} - base) return false;  // base + d wraps
+        if (!put(base + d)) return false;
+      }
+    }
+    done += m;
+  }
+  return true;
+}
+
+/// Strictly ascending sequences: delta-minus-one transform over
+/// put_u64_array, so dense position arrays pack to a few bits per entry.
+template <typename NextFn>
+void put_ascending_u64(sink& s, std::size_t n, bool packed, NextFn&& next) {
+  std::uint64_t prev = 0;
+  bool first = true;
+  put_u64_array(s, n, packed, [&] {
+    const std::uint64_t v = next();
+    const std::uint64_t d = first ? v : v - prev - 1;
+    first = false;
+    prev = v;
+    return d;
+  });
+}
+
+/// Inverse of put_ascending_u64; the reconstruction enforces strict ascent
+/// (a wrapping prev + d + 1 is a decode failure), so consumers keep the
+/// sortedness invariant even from forged bytes.
+template <typename PutFn>
+[[nodiscard]] bool get_ascending_u64(source& s, std::size_t n, bool packed, PutFn&& put) {
+  std::uint64_t prev = 0;
+  bool first = true;
+  return get_u64_array(s, n, packed, [&](std::uint64_t d) {
+    std::uint64_t v = 0;
+    if (first) {
+      first = false;
+      v = d;
+    } else {
+      if (d >= ~std::uint64_t{0} - prev) return false;  // prev + d + 1 wraps
+      v = prev + d + 1;
+    }
+    prev = v;
+    return put(v);
+  });
+}
+
+/// Counter-like columns: zig-zag varints of consecutive differences
+/// (mod-2^64, so exact for any sequence; near-sorted input costs 1-2 bytes
+/// per value).
+template <typename NextFn>
+void put_zigzag_u64(sink& s, std::size_t n, NextFn&& next) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = next();
+    s.varint(detail::zigzag_encode(static_cast<std::int64_t>(v - prev)));
+    prev = v;
+  }
+}
+
+/// Inverse of put_zigzag_u64.
+template <typename PutFn>
+[[nodiscard]] bool get_zigzag_u64(source& s, std::size_t n, PutFn&& put) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t z = 0;
+    if (!s.varint(z)) return false;
+    const auto v = prev + static_cast<std::uint64_t>(detail::zigzag_decode(z));
+    prev = v;
+    if (!put(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace memento::wire

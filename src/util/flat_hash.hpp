@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/compress.hpp"
 #include "util/random.hpp"
 #include "util/simd.hpp"
 #include "util/wire.hpp"
@@ -289,9 +290,143 @@ class flat_hash {
       prev_pos = pos;
       place(static_cast<std::size_t>(pos), token_of(key), key, static_cast<Value>(value));
     }
-    // Probe-reachability: every entry must be findable by walking from its
-    // home bucket through used slots. Rejecting here keeps find()'s "empty
-    // slot terminates the probe" invariant true for restored tables.
+    return probe_layout_valid();
+  }
+
+  /// Streamed, optionally compressed counterpart of save(): same capacity +
+  /// size preamble, then the used slots in tiles of up to wire::kPackBlock
+  /// entries - per tile an ascending-delta position column, a FoR key
+  /// column, and a FoR value column. Tiling (rather than three whole-table
+  /// columns) is what keeps the RESTORE side bounded too: it rebuilds from
+  /// one tile of scratch, never a table-sized temporary. Inline like save()
+  /// - the enclosing section's codec flags decide `packed`.
+  void save_stream(wire::sink& s, bool packed) const {
+    s.varint(slots_.size());
+    s.varint(size_);
+    std::uint64_t pos[wire::kPackBlock];
+    std::size_t scan = 0;
+    std::size_t left = size_;
+    while (left > 0) {
+      const std::size_t m = std::min(wire::kPackBlock, left);
+      for (std::size_t i = 0; i < m; ++scan) {
+        if (is_used(scan)) pos[i++] = scan;
+      }
+      std::size_t i = 0;
+      wire::put_ascending_u64(s, m, packed, [&] { return pos[i++]; });
+      i = 0;
+      wire::put_u64_array(s, m, packed,
+                          [&] { return wire::codec<Key>::to_u64(slots_[pos[i++]].key); });
+      i = 0;
+      wire::put_u64_array(s, m, packed, [&] {
+        return static_cast<std::uint64_t>(slots_[pos[i++]].value);
+      });
+      left -= m;
+    }
+  }
+
+  /// Rebuilds the exact layout from save_stream() output, with the same
+  /// validation contract as restore(): false on any structural violation,
+  /// leaving the table empty. Positions must ascend strictly across tiles,
+  /// not just within them.
+  [[nodiscard]] bool restore_stream(wire::source& s, bool packed) {
+    slots_.clear();
+    ctrl_.clear();
+    mask_ = 0;
+    size_ = 0;
+    std::uint64_t cap = 0, count = 0;
+    if (!s.varint(cap) || !s.varint(count)) return false;
+    if (cap == 0) return count == 0;
+    if (cap < kMinCapacity || cap > kMaxRestoreCapacity || (cap & (cap - 1)) != 0) return false;
+    if (count > cap - cap / 4) return false;
+    slots_.assign(static_cast<std::size_t>(cap), slot{});
+    ctrl_.assign(static_cast<std::size_t>(cap) + kCtrlPad, simd::kCtrlEmpty);
+    mask_ = static_cast<std::size_t>(cap) - 1;
+    std::uint64_t pos[wire::kPackBlock];
+    std::uint64_t keys[wire::kPackBlock];
+    std::uint64_t prev_pos = 0;
+    bool any = false;
+    std::uint64_t left = count;
+    while (left > 0) {
+      const std::size_t m = std::min<std::uint64_t>(wire::kPackBlock, left);
+      std::size_t i = 0;
+      const bool pos_ok = wire::get_ascending_u64(s, m, packed, [&](std::uint64_t p) {
+        if (p >= cap || (any && p <= prev_pos)) return false;
+        prev_pos = p;
+        any = true;
+        pos[i++] = p;
+        return true;
+      });
+      if (!pos_ok) {
+        clear();
+        return false;
+      }
+      i = 0;
+      if (!wire::get_u64_array(s, m, packed, [&](std::uint64_t raw) {
+            keys[i++] = raw;
+            return true;
+          })) {
+        clear();
+        return false;
+      }
+      i = 0;
+      const bool values_ok = wire::get_u64_array(s, m, packed, [&](std::uint64_t raw) {
+        if (raw > std::numeric_limits<Value>::max()) return false;
+        Key key{};
+        if (!wire::codec<Key>::from_u64(keys[i], key)) return false;
+        place(static_cast<std::size_t>(pos[i]), token_of(key), key, static_cast<Value>(raw));
+        ++i;
+        return true;
+      });
+      if (!values_ok) {
+        clear();
+        return false;
+      }
+      left -= m;
+    }
+    return probe_layout_valid();
+  }
+
+  /// Rebuilds the exact layout from externally held (position, key, value)
+  /// triples, for owners that already persist every entry's slot position
+  /// next to the entry itself (space_saving's islot column) and so need not
+  /// ship this table's contents a second time. `next_entry(n, pos, key,
+  /// value)` fills the n-th triple; entries arrive in the owner's order, not
+  /// necessarily by position - duplicates are caught by the occupancy map.
+  /// Same contract as restore(): false on any structural violation, leaving
+  /// the table empty.
+  template <typename EmitFn>
+  [[nodiscard]] bool rebuild_placed(std::uint64_t cap, std::uint64_t count, EmitFn&& next_entry) {
+    slots_.clear();
+    ctrl_.clear();
+    mask_ = 0;
+    size_ = 0;
+    if (cap == 0) return count == 0;
+    if (cap < kMinCapacity || cap > kMaxRestoreCapacity || (cap & (cap - 1)) != 0) return false;
+    if (count > cap - cap / 4) return false;
+    slots_.assign(static_cast<std::size_t>(cap), slot{});
+    ctrl_.assign(static_cast<std::size_t>(cap) + kCtrlPad, simd::kCtrlEmpty);
+    mask_ = static_cast<std::size_t>(cap) - 1;
+    for (std::uint64_t n = 0; n < count; ++n) {
+      std::uint64_t pos = 0, value = 0;
+      Key key{};
+      next_entry(n, pos, key, value);
+      if (pos >= cap || is_used(static_cast<std::size_t>(pos)) ||
+          value > std::numeric_limits<Value>::max()) {
+        clear();
+        return false;
+      }
+      place(static_cast<std::size_t>(pos), token_of(key), key, static_cast<Value>(value));
+    }
+    return probe_layout_valid();
+  }
+
+ private:
+  /// Probe-reachability check shared by both restore paths: every entry must
+  /// be findable by walking from its home bucket through used slots.
+  /// Rejecting (and clearing) here keeps find()'s "empty slot terminates the
+  /// probe" invariant true for restored tables - malformed bytes can never
+  /// produce a table with silently unfindable entries.
+  [[nodiscard]] bool probe_layout_valid() {
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       if (!is_used(i)) continue;
       std::size_t walk = token_of(slots_[i].key) & mask_;
@@ -307,7 +442,6 @@ class flat_hash {
     return true;
   }
 
- private:
   static constexpr std::size_t kMinCapacity = 8;
   /// Restore-side allocation guard: real sketch tables run thousands of
   /// slots, so anything near this in a snapshot is garbage, not data. The

@@ -19,17 +19,71 @@
 //     understand.
 //
 // The reader never allocates; the writer only appends to one vector.
+//
+// Streamed (v2) sections: the buffer writer backpatches each section's u32
+// length, which requires the whole body in memory at once. The chunked
+// counterparts below - `sink` and `source` - drop that requirement: a
+// streamed section's length field carries the kStreamLength sentinel (which
+// a v1 reader rejects cleanly, since no real body exceeds the remaining
+// buffer), the body is self-delimiting, and the section closes with a CRC32
+// of its body bytes. The CRC is what keeps the nullopt-on-anything-wrong
+// contract for compressed payloads: a bit flip inside a bit-packed array can
+// decode to structurally valid but wrong state, so structure validation
+// alone is not enough. A sink produces the same bytes whatever the chunk
+// size - and the same bytes whether it flushes to a callback or fills one
+// buffer - so streamed and buffered saves are byte-identical by construction.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <span>
 #include <type_traits>
 #include <vector>
 
 namespace memento::wire {
+
+/// Body-length sentinel of a streamed (v2-framing) section: the writer
+/// cannot backpatch a length it has already flushed, so it declares the body
+/// self-delimiting instead. A v1 `reader` rejects the sentinel as an
+/// over-long body, which is exactly the clean failure wanted from readers
+/// that predate streaming.
+inline constexpr std::uint32_t kStreamLength = 0xFFFFFFFFu;
+
+/// Incremental CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320): the
+/// per-section integrity check of streamed sections. Table-driven; the table
+/// is built once per process.
+class crc32 {
+ public:
+  void update(const std::uint8_t* p, std::size_t n) noexcept {
+    const std::uint32_t* t = table();
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    state_ = c;
+  }
+
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  static const std::uint32_t* table() noexcept {
+    static const std::array<std::uint32_t, 256> t = [] {
+      std::array<std::uint32_t, 256> out{};
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        out[i] = c;
+      }
+      return out;
+    }();
+    return t.data();
+  }
+
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
 
 /// Append-only little-endian serializer. Sections nest (tokens are plain
 /// byte offsets), and `take()` releases the buffer without a copy.
@@ -160,6 +214,26 @@ class reader {
     return true;
   }
 
+  /// Peeks the next section's tag and version without consuming anything;
+  /// false when fewer than four bytes remain. Restore paths use this to
+  /// dispatch between the buffered (v1-framing) and streamed (v2-framing)
+  /// forms of a type before committing to either decoder.
+  [[nodiscard]] bool peek_section(std::uint16_t& tag, std::uint16_t& version) const noexcept {
+    if (remaining() < 4) return false;
+    tag = static_cast<std::uint16_t>(in_[pos_] | (in_[pos_ + 1] << 8));
+    version = static_cast<std::uint16_t>(in_[pos_ + 2] | (in_[pos_ + 3] << 8));
+    return true;
+  }
+
+  /// The unread remainder of the buffer (borrowed, nothing consumed); feed
+  /// it to a buffer-backed `source`, then skip() what the source consumed.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return in_.subspan(pos_);
+  }
+
+  /// Advances past n bytes (clamped to the remainder).
+  void skip(std::size_t n) noexcept { pos_ += std::min(n, remaining()); }
+
   [[nodiscard]] std::size_t remaining() const noexcept { return in_.size() - pos_; }
   [[nodiscard]] bool done() const noexcept { return pos_ == in_.size(); }
 
@@ -176,6 +250,264 @@ class reader {
 
   std::span<const std::uint8_t> in_;
   std::size_t pos_ = 0;
+};
+
+/// Chunked-stream counterpart of `writer`: same primitives, but bytes leave
+/// through a backend callback every `chunk_bytes`, so serializing any amount
+/// of state holds at most one chunk (plus the largest single put) in memory.
+/// Sections use the streamed framing (kStreamLength sentinel + trailing
+/// CRC32 of the body); they nest LIFO, each byte feeding exactly one CRC:
+/// a section's body bytes feed its own, its header and trailing CRC bytes
+/// feed its parent's. Backend failure or writing past finish() poisons the
+/// sink (ok() goes false) instead of losing bytes silently.
+class sink {
+ public:
+  using write_fn = std::function<bool(std::span<const std::uint8_t>)>;
+
+  static constexpr std::size_t kDefaultChunk = 64 * 1024;
+
+  explicit sink(write_fn out, std::size_t chunk_bytes = kDefaultChunk)
+      : out_(std::move(out)), chunk_(chunk_bytes > 0 ? chunk_bytes : 1) {
+    buf_.reserve(chunk_);
+  }
+
+  /// Buffer convenience: appends everything to `out` (identical bytes to the
+  /// callback form - chunking only decides when flushes happen).
+  explicit sink(std::vector<std::uint8_t>& out, std::size_t chunk_bytes = kDefaultChunk)
+      : sink(
+            [&out](std::span<const std::uint8_t> b) {
+              out.insert(out.end(), b.begin(), b.end());
+              return true;
+            },
+            chunk_bytes) {}
+
+  void u8(std::uint8_t v) { put(&v, 1); }
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void varint(std::uint64_t v) {
+    std::uint8_t tmp[10];
+    std::size_t n = 0;
+    while (v >= 0x80) {
+      tmp[n++] = static_cast<std::uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    tmp[n++] = static_cast<std::uint8_t>(v);
+    put(tmp, n);
+  }
+
+  void bytes(std::span<const std::uint8_t> b) { put(b.data(), b.size()); }
+
+  /// Opens a streamed section: `u16 tag | u16 version | u32 kStreamLength`.
+  /// No token - streamed sections close innermost-first by construction.
+  void begin_section(std::uint16_t tag, std::uint16_t version) {
+    u16(tag);
+    u16(version);
+    u32(kStreamLength);
+    crcs_.emplace_back();
+  }
+
+  /// Closes the innermost open section, appending the CRC32 of its body.
+  void end_section() {
+    if (crcs_.empty()) {
+      failed_ = true;
+      return;
+    }
+    const std::uint32_t c = crcs_.back().value();
+    crcs_.pop_back();
+    u32(c);
+  }
+
+  /// Flushes buffered bytes and seals the stream; sections still open or a
+  /// backend failure leave the sink not ok(). Idempotent.
+  bool finish() {
+    if (!finished_) {
+      if (!crcs_.empty()) failed_ = true;
+      flush();
+      finished_ = true;
+    }
+    return ok();
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  /// Total bytes put so far (buffered + flushed).
+  [[nodiscard]] std::size_t bytes_written() const noexcept { return written_; }
+  /// High-water mark of the internal buffer: the bounded-memory evidence a
+  /// checkpointing caller can assert on (<= chunk + largest single put).
+  [[nodiscard]] std::size_t peak_buffered() const noexcept { return peak_; }
+
+ private:
+  void put(const std::uint8_t* p, std::size_t n) {
+    if (failed_ || finished_) {
+      failed_ = true;
+      return;
+    }
+    if (!crcs_.empty()) crcs_.back().update(p, n);
+    buf_.insert(buf_.end(), p, p + n);
+    written_ += n;
+    if (buf_.size() > peak_) peak_ = buf_.size();
+    if (buf_.size() >= chunk_) flush();
+  }
+
+  void put_le(std::uint64_t v, int n) {
+    std::uint8_t tmp[8];
+    for (int i = 0; i < n; ++i) tmp[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    put(tmp, static_cast<std::size_t>(n));
+  }
+
+  void flush() {
+    if (buf_.empty()) return;
+    if (!out_(std::span<const std::uint8_t>(buf_))) failed_ = true;
+    buf_.clear();
+  }
+
+  write_fn out_;
+  std::vector<std::uint8_t> buf_;
+  std::vector<crc32> crcs_;  ///< one per open section, innermost last
+  std::size_t chunk_;
+  std::size_t written_ = 0;
+  std::size_t peak_ = 0;
+  bool failed_ = false;
+  bool finished_ = false;
+};
+
+/// Validating pull-stream counterpart of `reader`: refills an internal
+/// window from a backend callback (or walks a borrowed span without
+/// copying), mirrors the sink's CRC stack, and latches failure on the first
+/// short read, bad frame, or CRC mismatch - after which every getter
+/// answers false, so decoders keep their chain-of-ifs shape.
+class source {
+ public:
+  /// Backend: fill up to `n` bytes at `dst`, return how many (0 = EOF).
+  using read_fn = std::function<std::size_t(std::uint8_t*, std::size_t)>;
+
+  explicit source(read_fn in, std::size_t chunk_bytes = sink::kDefaultChunk)
+      : in_(std::move(in)), chunk_(chunk_bytes > 0 ? chunk_bytes : 1) {}
+
+  /// Buffer mode: reads walk `in` directly (no copy, no refills).
+  explicit source(std::span<const std::uint8_t> in) noexcept : view_(in), buffered_(true) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) noexcept { return take(&v, 1); }
+  [[nodiscard]] bool u16(std::uint16_t& v) noexcept { return get_le(v, 2); }
+  [[nodiscard]] bool u32(std::uint32_t& v) noexcept { return get_le(v, 4); }
+  [[nodiscard]] bool u64(std::uint64_t& v) noexcept { return get_le(v, 8); }
+
+  [[nodiscard]] bool f64(double& v) noexcept {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// LEB128 decode with the same 10-byte / 64-bit caps as reader::varint.
+  [[nodiscard]] bool varint(std::uint64_t& v) noexcept {
+    v = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+      std::uint8_t byte = 0;
+      if (!u8(byte)) return false;
+      if (shift == 63 && (byte & 0xFE)) return false;
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if (!(byte & 0x80)) return true;
+    }
+    return false;
+  }
+
+  /// Copies the next n bytes into dst; false (latching) on truncation.
+  [[nodiscard]] bool read(std::uint8_t* dst, std::size_t n) noexcept { return take(dst, n); }
+
+  /// Opens a streamed section: checks the tag and the kStreamLength
+  /// sentinel, surfaces the version, starts the body CRC.
+  [[nodiscard]] bool open_section(std::uint16_t expected_tag, std::uint16_t& version) noexcept {
+    std::uint16_t tag = 0;
+    std::uint32_t len = 0;
+    if (!u16(tag) || !u16(version) || !u32(len)) return false;
+    if (tag != expected_tag || len != kStreamLength) return fail();
+    crcs_.emplace_back();
+    return true;
+  }
+
+  /// Closes the innermost open section: reads the stored CRC32 and compares
+  /// it against the computed one. Any mismatch is a decode failure - this is
+  /// what turns every bit flip in a streamed body into a deterministic
+  /// nullopt instead of a silently wrong decode.
+  [[nodiscard]] bool close_section() noexcept {
+    if (crcs_.empty()) return fail();
+    const std::uint32_t computed = crcs_.back().value();
+    crcs_.pop_back();
+    std::uint32_t stored = 0;
+    if (!u32(stored)) return false;
+    if (stored != computed) return fail();
+    return true;
+  }
+
+  /// Total bytes consumed from the backend / span so far.
+  [[nodiscard]] std::size_t consumed() const noexcept { return consumed_; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// True when the stream is exhausted: nothing buffered and the backend has
+  /// no more bytes. Buffer mode: the span fully consumed. May pull one
+  /// refill to find out; a failed source is never done.
+  [[nodiscard]] bool done() noexcept {
+    if (failed_) return false;
+    if (buffered_) return pos_ == view_.size();
+    if (pos_ < view_.size()) return false;
+    return !refill();
+  }
+
+ private:
+  [[nodiscard]] bool fail() noexcept {
+    failed_ = true;
+    return false;
+  }
+
+  bool take(std::uint8_t* dst, std::size_t n) noexcept {
+    if (failed_) return false;
+    while (n > 0) {
+      if (pos_ == view_.size() && !refill()) return fail();
+      const std::size_t run = std::min(n, view_.size() - pos_);
+      std::memcpy(dst, view_.data() + pos_, run);
+      if (!crcs_.empty()) crcs_.back().update(dst, run);
+      pos_ += run;
+      consumed_ += run;
+      dst += run;
+      n -= run;
+    }
+    return true;
+  }
+
+  template <typename T>
+  [[nodiscard]] bool get_le(T& v, int n) noexcept {
+    std::uint8_t tmp[8];
+    if (!take(tmp, static_cast<std::size_t>(n))) return false;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < n; ++i) acc |= static_cast<std::uint64_t>(tmp[i]) << (8 * i);
+    v = static_cast<T>(acc);
+    return true;
+  }
+
+  /// Stream mode only: pulls the next chunk from the backend. False at EOF.
+  bool refill() noexcept {
+    if (buffered_ || !in_) return false;
+    buf_.resize(chunk_);
+    const std::size_t got = in_(buf_.data(), buf_.size());
+    if (got == 0) return false;
+    buf_.resize(got);
+    view_ = std::span<const std::uint8_t>(buf_);
+    pos_ = 0;
+    return true;
+  }
+
+  read_fn in_;
+  std::vector<std::uint8_t> buf_;      ///< stream mode: the refill window
+  std::span<const std::uint8_t> view_; ///< current readable bytes
+  std::vector<crc32> crcs_;            ///< one per open section, innermost last
+  std::size_t pos_ = 0;
+  std::size_t chunk_ = 0;
+  std::size_t consumed_ = 0;
+  bool buffered_ = false;
+  bool failed_ = false;
 };
 
 /// Key codec used by the templated sketch save()/restore() members. The
@@ -195,6 +527,18 @@ struct codec {
   [[nodiscard]] static bool get(reader& r, T& v) noexcept {
     std::uint64_t raw = 0;
     if (!r.u64(raw)) return false;
+    return from_u64(raw, v);
+  }
+
+  /// The same 8-byte value as put(), as an integer: the compressed-array
+  /// codecs (util/compress.hpp) move keys through u64 columns instead of
+  /// fixed 8-byte fields.
+  [[nodiscard]] static std::uint64_t to_u64(const T& v) noexcept {
+    return static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(v));
+  }
+
+  /// Inverse of to_u64 with the same range validation as get().
+  [[nodiscard]] static bool from_u64(std::uint64_t raw, T& v) noexcept {
     if constexpr (sizeof(T) < 8) {
       if (raw > static_cast<std::uint64_t>(std::make_unsigned_t<T>(-1))) return false;
     }

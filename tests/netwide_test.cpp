@@ -483,5 +483,190 @@ TEST(Harness, RejectsZeroVantages) {
   EXPECT_THROW(netwide_harness<source_hierarchy>{cfg}, std::invalid_argument);
 }
 
+// --- delta summary channel ---------------------------------------------------
+
+TEST(DeltaChannel, ReportCodecRoundTripsFullAndDelta) {
+  // Delta kind: changed + removed survive the wire exactly.
+  delta_summary_report<std::uint64_t> report;
+  report.origin = 9;
+  report.covered_packets = 4'321;
+  report.epoch = 17;
+  report.kind = summary_kind::delta;
+  report.window = 50'000;
+  report.stream = 123'456;
+  report.width = 31.25;
+  report.miss_upper = 7.5;
+  for (std::uint64_t k = 0; k < 300; ++k) report.changed.push_back({k * 37, 100.0 + k});
+  for (std::uint64_t k = 0; k < 40; ++k) report.removed.push_back(k * 101 + 7);
+  const auto payload = encode_delta_summary_report(report);
+  ASSERT_FALSE(payload.empty());
+
+  const auto got = decode_delta_summary_report<std::uint64_t>(payload);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->origin, report.origin);
+  EXPECT_EQ(got->covered_packets, report.covered_packets);
+  EXPECT_EQ(got->epoch, report.epoch);
+  EXPECT_EQ(got->kind, summary_kind::delta);
+  EXPECT_EQ(got->window, report.window);
+  EXPECT_EQ(got->stream, report.stream);
+  EXPECT_DOUBLE_EQ(got->width, report.width);
+  EXPECT_DOUBLE_EQ(got->miss_upper, report.miss_upper);
+  EXPECT_EQ(got->changed, report.changed);
+  EXPECT_EQ(got->removed, report.removed);
+
+  // Full kind: the embedded WS v2 section round-trips its entries.
+  delta_summary_report<std::uint64_t> full;
+  full.origin = 3;
+  full.epoch = 1;
+  full.kind = summary_kind::full;
+  full.summary.set_scalars(50'000, 99'999, 10.0, 2.0);
+  for (std::uint64_t k = 0; k < 100; ++k) full.summary.upsert(k * 13, 500.0 + k);
+  const auto full_payload = encode_delta_summary_report(full);
+  const auto full_got = decode_delta_summary_report<std::uint64_t>(full_payload);
+  ASSERT_TRUE(full_got.has_value());
+  EXPECT_EQ(full_got->kind, summary_kind::full);
+  EXPECT_EQ(full_got->summary.size(), full.summary.size());
+  full.summary.for_each([&](const std::uint64_t& key, double est) {
+    ASSERT_DOUBLE_EQ(full_got->summary.query_entry(key), est);
+  });
+
+  // Hardening: every truncation and every single-byte corruption of the
+  // delta payload is rejected (preamble checks + the WD section's CRC).
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(decode_delta_summary_report<std::uint64_t>(
+                     std::span<const std::uint8_t>(payload.data(), cut))
+                     .has_value())
+        << "accepted truncation at " << cut;
+  }
+  auto mutated = payload;
+  for (std::size_t i = 21; i < mutated.size(); ++i) {  // past the un-CRC'd preamble
+    mutated[i] ^= 0x01;
+    EXPECT_FALSE(decode_delta_summary_report<std::uint64_t>(mutated).has_value())
+        << "accepted corruption at byte " << i;
+    mutated[i] ^= 0x01;
+  }
+  // Unknown kind byte (offset 20: u32 origin + u64 covered + u64 epoch).
+  mutated[20] = 2;
+  EXPECT_FALSE(decode_delta_summary_report<std::uint64_t>(mutated).has_value());
+}
+
+TEST(DeltaChannel, ControllerEnforcesEpochSequencing) {
+  delta_summary_controller<source_hierarchy> ctrl;
+  const std::uint64_t k1 = 11, k2 = 22;
+
+  auto make_full = [&](std::uint64_t epoch, std::uint64_t key, double est) {
+    delta_summary_report<std::uint64_t> r;
+    r.origin = 0;
+    r.epoch = epoch;
+    r.kind = summary_kind::full;
+    r.summary.set_scalars(1'000, epoch * 1'000, 5.0, 1.0);
+    r.summary.upsert(key, est);
+    return r;
+  };
+  auto make_delta = [&](std::uint64_t epoch) {
+    delta_summary_report<std::uint64_t> r;
+    r.origin = 0;
+    r.epoch = epoch;
+    r.kind = summary_kind::delta;
+    r.window = 1'000;
+    r.stream = epoch * 1'000;
+    r.width = 5.0;
+    r.miss_upper = 1.0;
+    return r;
+  };
+
+  // Baseline at epoch 1.
+  EXPECT_TRUE(ctrl.on_report(make_full(1, k1, 100.0)));
+  EXPECT_DOUBLE_EQ(ctrl.query_point(k1), 100.0);
+  // Replay of epoch 1 is rejected, state unchanged.
+  EXPECT_FALSE(ctrl.on_report(make_full(1, k1, 999.0)));
+  EXPECT_DOUBLE_EQ(ctrl.query_point(k1), 100.0);
+  // In-sequence delta applies: k1 removed, k2 upserted.
+  auto d2 = make_delta(2);
+  d2.changed.push_back({k2, 50.0});
+  d2.removed.push_back(k1);
+  EXPECT_TRUE(ctrl.on_report(d2));
+  EXPECT_DOUBLE_EQ(ctrl.query_point(k1), 0.0);
+  EXPECT_DOUBLE_EQ(ctrl.query_point(k2), 50.0);
+  // An epoch gap desyncs the origin...
+  EXPECT_FALSE(ctrl.on_report(make_delta(4)));
+  // ...and even the "right next" epoch stays rejected until a full resync.
+  EXPECT_FALSE(ctrl.on_report(make_delta(3)));
+  EXPECT_DOUBLE_EQ(ctrl.query_point(k2), 50.0);  // baseline untouched by rejects
+  EXPECT_EQ(ctrl.reports_rejected(), 3u);
+  // A full report resynchronizes unconditionally.
+  EXPECT_TRUE(ctrl.on_report(make_full(5, k1, 70.0)));
+  EXPECT_DOUBLE_EQ(ctrl.query_point(k1), 70.0);
+  EXPECT_DOUBLE_EQ(ctrl.query_point(k2), 0.0);  // full replaces, not patches
+  auto d6 = make_delta(6);
+  d6.changed.push_back({k2, 25.0});
+  EXPECT_TRUE(ctrl.on_report(d6));
+  EXPECT_DOUBLE_EQ(ctrl.query_point(k2), 25.0);
+}
+
+TEST(DeltaChannel, DeltaStreamTracksFullResyncBaselineAndRecoversFromLoss) {
+  // Two identical vantages over the same stream; one ships a full summary
+  // every report, the other deltas with periodic resync. Their controllers
+  // must agree to within one change bar per entry. A dropped delta mid-run
+  // desyncs the delta controller until the next full, after which agreement
+  // returns - the recovery path the wire format exists for.
+  const budget_model budget{4.0, 64.0, 4.0};
+  delta_summary_config full_cfg;
+  full_cfg.resync_every = 1;
+  full_cfg.cadence_packets = 500;
+  delta_summary_config delta_cfg;
+  delta_cfg.resync_every = 4;
+  delta_cfg.cadence_packets = 500;
+  delta_cfg.change_bar_units = 1.0;
+  delta_summary_point<source_hierarchy> pfull(0, 10'000, 256, budget, full_cfg, 5);
+  delta_summary_point<source_hierarchy> pdelta(0, 10'000, 256, budget, delta_cfg, 5);
+  delta_summary_controller<source_hierarchy> cfull, cdelta;
+
+  std::uint64_t z = 99;
+  std::uint64_t delta_payloads = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    z = z * 6364136223846793005ULL + 1442695040888963407ULL;
+    // 4 stable elephants on 60% of traffic, random background on the rest.
+    const std::uint32_t src = (z >> 33) % 10 < 6
+                                  ? static_cast<std::uint32_t>((z >> 50) % 4) * 7919u + 1
+                                  : static_cast<std::uint32_t>(z >> 32);
+    const packet p{src, 0};
+    if (auto payload = pfull.observe(p)) {
+      auto r = decode_delta_summary_report<std::uint64_t>(*payload);
+      ASSERT_TRUE(r.has_value());
+      cfull.on_report(std::move(*r));
+    }
+    if (auto payload = pdelta.observe(p)) {
+      auto r = decode_delta_summary_report<std::uint64_t>(*payload);
+      ASSERT_TRUE(r.has_value());
+      // Drop the 6th report if it is a delta: simulated channel loss.
+      if (++delta_payloads == 6 && r->kind == summary_kind::delta) continue;
+      cdelta.on_report(std::move(*r));
+    }
+  }
+  ASSERT_GT(pdelta.delta_reports(), 0u);
+  ASSERT_GT(pdelta.full_reports(), 1u);
+  EXPECT_GE(cdelta.reports_rejected(), 1u);  // the post-drop deltas until resync
+
+  // Deltas must be the cheaper channel even at this small scale.
+  EXPECT_LT(pdelta.bytes_sent(), pfull.bytes_sent());
+
+  // Per-entry agreement: the elephants' source-level estimates differ by at
+  // most the change bar (plus report-timing slack) between the two sides.
+  const double bar = 1.0 *
+                     static_cast<double>(pdelta.algorithm().inner().overflow_threshold()) *
+                     static_cast<double>(source_hierarchy::hierarchy_size) /
+                     pdelta.algorithm().tau();
+  for (std::uint32_t e = 0; e < 4; ++e) {
+    const packet probe{e * 7919u + 1, 0};
+    for (std::size_t d = 0; d < source_hierarchy::hierarchy_size; ++d) {
+      const auto key = source_hierarchy::key_at(probe, d);
+      const double ref = cfull.query_point(key);
+      EXPECT_NEAR(cdelta.query_point(key), ref, bar + 0.05 * ref)
+          << "elephant " << e << " depth " << d;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace memento::netwide
