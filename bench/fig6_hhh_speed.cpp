@@ -17,7 +17,9 @@
 
 #include "core/baseline_window_mst.hpp"
 #include "core/h_memento.hpp"
+#include "shard/sharded_h_memento.hpp"
 #include "trace/trace_generator.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -54,6 +56,31 @@ void hhh_memento_speed_batch(benchmark::State& state) {
   const auto counters_per_h = static_cast<std::size_t>(state.range(0));
   const double tau = 1.0 / static_cast<double>(state.range(1));
   h_memento<H> alg(kWindow, counters_per_h * H::hierarchy_size, tau, 1e-3, /*seed=*/1);
+  const auto& trace = bench_trace();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < trace.size(); i += kBurst) {
+      alg.update_batch(trace.data() + i, std::min(kBurst, trace.size() - i));
+    }
+    benchmark::DoNotOptimize(alg.stream_length());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(trace.size()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+/// Prefix-sharded frontend, single-threaded: the routing + per-shard batch
+/// cost relative to one big instance (the shards split the same global
+/// counter/window budget, so memory is held constant across the sweep).
+template <typename H>
+void hhh_memento_speed_sharded(benchmark::State& state) {
+  constexpr std::size_t kBurst = 256;
+  const auto counters_per_h = static_cast<std::size_t>(state.range(0));
+  const double tau = 1.0 / static_cast<double>(state.range(1));
+  const auto shards = static_cast<std::size_t>(state.range(2));
+  const h_memento_config cfg{kWindow, counters_per_h * H::hierarchy_size, tau, 1e-3, /*seed=*/1};
+  sharded_h_memento<H> alg(cfg, shards);
   const auto& trace = bench_trace();
   for (auto _ : state) {
     for (std::size_t i = 0; i < trace.size(); i += kBurst) {
@@ -106,6 +133,20 @@ void register_all() {
           ->MinTime(0.1)
           ->Unit(benchmark::kMillisecond);
     }
+    for (std::int64_t inv_tau : {1, 64}) {
+      for (std::int64_t shards : {2, 4, 8}) {
+        benchmark::RegisterBenchmark("fig6/h_memento_1d_sharded",
+                                     hhh_memento_speed_sharded<source_hierarchy>)
+            ->Args({counters, inv_tau, shards})
+            ->MinTime(0.1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark("fig6/h_memento_2d_sharded",
+                                     hhh_memento_speed_sharded<two_dim_hierarchy>)
+            ->Args({counters, inv_tau, shards})
+            ->MinTime(0.1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
     benchmark::RegisterBenchmark("fig6/baseline_1d", hhh_baseline_speed<source_hierarchy>)
         ->Args({counters})
         ->MinTime(0.1)
@@ -122,6 +163,15 @@ void register_all() {
 int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
+  // Provenance context for summarize.py --hhh (same convention as fig5):
+  // this binary's actual codegen and the kernel tier the run dispatched to.
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  benchmark::AddCustomContext("memento_build_type", "release");
+#else
+  benchmark::AddCustomContext("memento_build_type", "debug");
+#endif
+  benchmark::AddCustomContext("memento_simd_dispatch",
+                              memento::simd::tier_name(memento::simd::active()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -15,6 +15,7 @@
 #include "core/h_memento.hpp"
 #include "core/rhhh.hpp"
 #include "trace/trace_generator.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -36,6 +37,28 @@ void h_memento_speed(benchmark::State& state) {
   const auto& trace = bench_trace();
   for (auto _ : state) {
     for (const auto& p : trace) alg.update(p);
+    benchmark::DoNotOptimize(alg.stream_length());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(trace.size()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+/// Same matched-sampling sweep through the batched ingest path: the fair
+/// RHHH comparison for a NIC-burst deployment, where H-Memento amortizes
+/// the level draw and key materialization across the burst.
+template <typename H>
+void h_memento_speed_batch(benchmark::State& state) {
+  constexpr std::size_t kBurst = 256;
+  const double tau = static_cast<double>(H::hierarchy_size) / static_cast<double>(state.range(0));
+  h_memento<H> alg(kWindow, kCountersPerH * H::hierarchy_size, std::min(1.0, tau), 1e-3, 1);
+  const auto& trace = bench_trace();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < trace.size(); i += kBurst) {
+      alg.update_batch(trace.data() + i, std::min(kBurst, trace.size() - i));
+    }
     benchmark::DoNotOptimize(alg.stream_length());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -69,6 +92,10 @@ void register_all() {
         ->Arg(v)
         ->MinTime(0.1)
         ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("fig7/h_memento_1d_batch", h_memento_speed_batch<source_hierarchy>)
+        ->Arg(v)
+        ->MinTime(0.1)
+        ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark("fig7/rhhh_1d", rhhh_speed<source_hierarchy>)
         ->Arg(v)
         ->MinTime(0.1)
@@ -76,6 +103,11 @@ void register_all() {
   }
   for (std::int64_t v : {25, 50, 200, 800, 3200, 12800}) {
     benchmark::RegisterBenchmark("fig7/h_memento_2d", h_memento_speed<two_dim_hierarchy>)
+        ->Arg(v)
+        ->MinTime(0.1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("fig7/h_memento_2d_batch",
+                                 h_memento_speed_batch<two_dim_hierarchy>)
         ->Arg(v)
         ->MinTime(0.1)
         ->Unit(benchmark::kMillisecond);
@@ -91,6 +123,14 @@ void register_all() {
 int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
+  // Provenance context for summarize.py (same convention as fig5/fig6).
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  benchmark::AddCustomContext("memento_build_type", "release");
+#else
+  benchmark::AddCustomContext("memento_build_type", "debug");
+#endif
+  benchmark::AddCustomContext("memento_simd_dispatch",
+                              memento::simd::tier_name(memento::simd::active()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

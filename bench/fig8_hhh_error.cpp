@@ -6,11 +6,25 @@
 // algorithms at eps_a = 0.1% of W; the Interval instance at a smaller eps_a
 // for comparable memory; the Interval algorithm resets every W packets.
 //
+// The `h-memento-batch` series replays the same stream through
+// h_memento::update_batch in probe-stride bursts; its sketch state is
+// byte-identical to the scalar series at every probe point, so its error
+// row doubles as the "batching changed no error bar" differential in the
+// committed artifact. The HHH recall column scores output(theta) against
+// the exact window HHH set.
+//
+// Flags: `--window=N` / `--packets=N` shrink the run for CI smoke;
+// `--json` emits the {"hhh_error": ...} document summarize.py folds into
+// BENCH_fig5.json with --hhh-error.
+//
 // Expected shape (paper): Interval is the least accurate (staleness across
 // resets); H-Memento is slightly less accurate than the Baseline due to
 // sampling; both window algorithms are close at every prefix length.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/baseline_window_mst.hpp"
@@ -24,79 +38,168 @@ namespace {
 
 using namespace memento;
 
-constexpr std::uint64_t kWindow = 200'000;
-constexpr std::size_t kPackets = 800'000;
-constexpr std::size_t kProbeStride = 53;
 // Window algorithms: eps_a = 0.1% -> 4/0.001 = 4000 counters worth of
 // precision shared across the hierarchy; Interval: 2000 counters/instance.
 constexpr std::size_t kWindowCounters = 4000;
 constexpr std::size_t kIntervalCountersPerInstance = 2000;
 constexpr double kTau = 5.0 / 128.0;  // effective per-prefix rate 1/128
+constexpr std::size_t kProbeStride = 53;  // also the batch arm's burst length
+constexpr double kTheta = 0.02;           // HHH recall threshold (fraction of W)
 
 struct series {
-  double rmse_total = 0.0;
-  std::array<double, 5> rmse_by_depth{};
+  std::size_t probes = 0;
+  std::size_t truth_size = 0;
+  // RMSE per algorithm: h-memento, h-memento-batch, baseline, interval(MST).
+  std::array<double, 4> rmse{};
+  std::array<std::array<double, 4>, 5> rmse_by_depth{};
+  double recall_hmem = 0.0;
+  double recall_hmem_batch = 0.0;
 };
 
-series run_trace(trace_kind kind) {
-  trace_generator gen(kind, 42);
-  h_memento<source_hierarchy> hmem(kWindow, kWindowCounters, kTau, 1e-3, /*seed=*/3);
-  baseline_window_mst<source_hierarchy> baseline(kWindow, kWindowCounters);
+series run_trace(trace_kind kind, std::uint64_t window, std::size_t packets) {
+  std::vector<packet> trace;
+  trace.reserve(packets);
+  {
+    trace_generator gen(kind, 42);
+    for (std::size_t i = 0; i < packets; ++i) trace.push_back(gen.next());
+  }
+  h_memento<source_hierarchy> hmem(window, kWindowCounters, kTau, 1e-3, /*seed=*/3);
+  h_memento<source_hierarchy> hmem_batch(window, kWindowCounters, kTau, 1e-3, /*seed=*/3);
+  baseline_window_mst<source_hierarchy> baseline(window, kWindowCounters);
   mst<source_hierarchy> interval(kIntervalCountersPerInstance);
   exact_hhh<source_hierarchy> exact(hmem.window_size());
 
-  std::array<double, 3> sq{};                   // hmem, baseline, interval
-  std::array<std::array<double, 3>, 5> sq_d{};  // per depth
-  std::size_t probes = 0;
+  series out;
+  std::array<double, 4> sq{};
+  std::array<std::array<double, 4>, 5> sq_d{};
 
-  for (std::size_t i = 0; i < kPackets; ++i) {
-    const packet p = gen.next();
-    if (i % kWindow == 0) interval.reset();
-    hmem.update(p);
-    baseline.update(p);
-    interval.update(p);
-    exact.update(p);
-    if (i > kWindow && i % kProbeStride == 0) {
-      for (std::size_t d = 0; d < 5; ++d) {
-        const auto key = source_hierarchy::key_at(p, d);
-        const double truth = static_cast<double>(exact.query(key));
-        const double e0 = hmem.query(key) - truth;
-        const double e1 = baseline.query(key) - truth;
-        const double e2 = interval.query(key) - truth;
-        sq[0] += e0 * e0;
-        sq[1] += e1 * e1;
-        sq[2] += e2 * e2;
-        sq_d[d][0] += e0 * e0;
-        sq_d[d][1] += e1 * e1;
-        sq_d[d][2] += e2 * e2;
-      }
-      ++probes;
+  // Burst-synchronous replay: every algorithm advances through the same
+  // kProbeStride-packet burst, then all four are probed at the same stream
+  // position, with the batch arm ingesting the burst via update_batch.
+  for (std::size_t i = 0; i + kProbeStride <= trace.size(); i += kProbeStride) {
+    for (std::size_t j = i; j < i + kProbeStride; ++j) {
+      const packet& p = trace[j];
+      if (j % window == 0) interval.reset();
+      hmem.update(p);
+      baseline.update(p);
+      interval.update(p);
+      exact.update(p);
     }
+    hmem_batch.update_batch(trace.data() + i, kProbeStride);
+    if (i <= window) continue;
+    const packet& p = trace[i + kProbeStride - 1];
+    for (std::size_t d = 0; d < 5; ++d) {
+      const auto key = source_hierarchy::key_at(p, d);
+      const double truth = static_cast<double>(exact.query(key));
+      const std::array<double, 4> err = {
+          hmem.query(key) - truth, hmem_batch.query(key) - truth,
+          baseline.query(key) - truth, interval.query(key) - truth};
+      for (std::size_t a = 0; a < 4; ++a) {
+        sq[a] += err[a] * err[a];
+        sq_d[d][a] += err[a] * err[a];
+      }
+    }
+    ++out.probes;
   }
 
-  const double n = static_cast<double>(probes) * 5.0;
-  const double nd = static_cast<double>(probes);
-  std::printf("\n--- %s trace (probes=%zu) ---\n", trace_name(kind), probes);
+  const double n = static_cast<double>(out.probes) * 5.0;
+  const double nd = static_cast<double>(out.probes);
+  for (std::size_t a = 0; a < 4; ++a) {
+    out.rmse[a] = std::sqrt(sq[a] / n);
+    for (std::size_t d = 0; d < 5; ++d) out.rmse_by_depth[d][a] = std::sqrt(sq_d[d][a] / nd);
+  }
+
+  // End-of-stream HHH recall against the exact window HHH set. The exact
+  // set is never empty (the root prefix always crosses any theta <= 1).
+  const auto exact_set = exact.output(kTheta);
+  out.truth_size = exact_set.size();
+  const auto recall_of = [&](const h_memento<source_hierarchy>& alg) {
+    const auto found = alg.output(kTheta);
+    std::size_t hit = 0;
+    for (const auto& t : exact_set) {
+      if (std::any_of(found.begin(), found.end(),
+                      [&](const auto& e) { return e.key == t.key; })) {
+        ++hit;
+      }
+    }
+    return exact_set.empty() ? 1.0
+                             : static_cast<double>(hit) / static_cast<double>(exact_set.size());
+  };
+  out.recall_hmem = recall_of(hmem);
+  out.recall_hmem_batch = recall_of(hmem_batch);
+  return out;
+}
+
+void print_table(trace_kind kind, const series& s) {
+  std::printf("\n--- %s trace (probes=%zu) ---\n", trace_name(kind), s.probes);
   console_table table({"algorithm", "rmse", "/32", "/24", "/16", "/8", "/0"});
   table.print_header();
-  const char* names[3] = {"h-memento", "baseline", "interval(MST)"};
-  for (int a = 0; a < 3; ++a) {
-    table.cell(names[a]).cell(std::sqrt(sq[a] / n), 1);
-    for (std::size_t d = 0; d < 5; ++d) table.cell(std::sqrt(sq_d[d][a] / nd), 1);
+  const char* names[4] = {"h-memento", "h-memento-batch", "baseline", "interval(MST)"};
+  for (int a = 0; a < 4; ++a) {
+    table.cell(names[a]).cell(s.rmse[a], 1);
+    for (std::size_t d = 0; d < 5; ++d) table.cell(s.rmse_by_depth[d][a], 1);
     table.end_row();
   }
-  return {};
+  std::printf("HHH recall @ theta=%.3f (|exact set|=%zu): scalar %.3f, batch %.3f\n", kTheta,
+              s.truth_size, s.recall_hmem, s.recall_hmem_batch);
 }
 
 }  // namespace
 
-int main() {
-  std::puts("=== Figure 8: on-arrival HHH accuracy (W=200k, N=800k, H=5) ===");
+int main(int argc, char** argv) {
+  bool json = false;
+  std::uint64_t window = 200'000;
+  std::size_t packets = 800'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--window=", 0) == 0) {
+      window = std::stoull(arg.substr(9));
+    } else if (arg.rfind("--packets=", 0) == 0) {
+      packets = std::stoull(arg.substr(10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--window=N] [--packets=N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  constexpr trace_kind kinds[3] = {trace_kind::backbone, trace_kind::datacenter,
+                                   trace_kind::edge};
+  std::array<series, 3> results;
+  for (std::size_t i = 0; i < 3; ++i) results[i] = run_trace(kinds[i], window, packets);
+
+  if (json) {
+#ifdef NDEBUG
+    const char* build = "release";
+#else
+    const char* build = "debug";
+#endif
+    std::printf(
+        "{\n  \"memento_build_type\": \"%s\",\n  \"hhh_error\": {\n"
+        "    \"window\": %llu, \"packets\": %zu, \"counters\": %zu,\n"
+        "    \"tau\": %.6f, \"theta\": %.3f,\n    \"traces\": [\n",
+        build, static_cast<unsigned long long>(window), packets, kWindowCounters, kTau, kTheta);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const series& s = results[i];
+      std::printf(
+          "      {\"trace\": \"%s\", \"probes\": %zu, \"truth_size\": %zu,\n"
+          "       \"rmse\": {\"h_memento\": %.3f, \"h_memento_batch\": %.3f, "
+          "\"baseline\": %.3f, \"interval\": %.3f},\n"
+          "       \"recall\": {\"h_memento\": %.4f, \"h_memento_batch\": %.4f}}%s\n",
+          trace_name(kinds[i]), s.probes, s.truth_size, s.rmse[0], s.rmse[1], s.rmse[2],
+          s.rmse[3], s.recall_hmem, s.recall_hmem_batch, i + 1 < 3 ? "," : "");
+    }
+    std::printf("    ]\n  }\n}\n");
+    return 0;
+  }
+
+  std::printf("=== Figure 8: on-arrival HHH accuracy (W=%llu, N=%zu, H=5) ===\n",
+              static_cast<unsigned long long>(window), packets);
   std::printf("window algs: %zu counters (eps_a=0.1%%), tau=%.4f; interval: %zu/instance\n",
               kWindowCounters, kTau, kIntervalCountersPerInstance);
-  for (trace_kind kind : {trace_kind::backbone, trace_kind::datacenter, trace_kind::edge}) {
-    run_trace(kind);
-  }
-  std::puts("\nExpected: interval worst everywhere; h-memento ~ baseline (slightly above).");
+  for (std::size_t i = 0; i < 3; ++i) print_table(kinds[i], results[i]);
+  std::puts("\nExpected: interval worst everywhere; h-memento ~ baseline (slightly above);");
+  std::puts("the batch row must match the scalar h-memento row digit for digit.");
   return 0;
 }

@@ -16,6 +16,12 @@ summary control channels) into a `netwide_bytes` section of the artifact,
 plus its delta-vs-full summary-channel comparison as `summary_delta`.
 `--snapshot` folds a snapshot_speed --json report into the `snapshot`
 section (save/restore MB/s, compression ratio, bounded-memory evidence).
+`--hhh` folds a fig6_hhh_speed raw Google Benchmark JSON into the
+`hhh_speed` section - the same entries/pairs/scaling reduction as the main
+input, so the batched-over-scalar HHH speedup and the prefix-sharded
+scaling curve ride the artifact next to the flat numbers. `--hhh-error`
+folds a fig8_hhh_error --json report into the `hhh_error` section (RMSE per
+algorithm with the batch-differential row, HHH recall vs the exact set).
 `--rebalance` folds a `fig5/hh_speed_rebalanced` measurement (raw Google
 Benchmark JSON) into the `rebalance` section without touching the other
 sections; the same section is also produced directly when the main input
@@ -133,18 +139,19 @@ def reduce_benchmarks(raw: dict) -> dict:
             }
         )
 
-    # Multicore scaling: group `_sharded` rows (args kind/counters/inv_tau/N)
-    # by base config; report per-N throughput, speedup vs the N=1 sharded row
-    # and vs the single-instance batch baseline with the same base args.
+    # Multicore scaling: group `_sharded` rows by base config - the shard
+    # count N is always the LAST arg (fig5: kind/counters/inv_tau/N, fig6:
+    # counters/inv_tau/N); report per-N throughput, speedup vs the N=1
+    # sharded row and vs the single-instance batch baseline, same base args.
     sharded = {}
     for e in entries:
         if not e["family"].endswith("_sharded") or e["mpps"] is None:
             continue
         parts = e["args"].split("/")
-        if len(parts) != 4:
+        if len(parts) < 2:
             continue
-        base = "/".join(parts[:3])
-        sharded.setdefault((e["family"], base), {})[int(parts[3])] = e
+        base = "/".join(parts[:-1])
+        sharded.setdefault((e["family"], base), {})[int(parts[-1])] = e
     scaling = []
     for (family, base), by_n in sorted(sharded.items()):
         one = by_n.get(1)
@@ -301,6 +308,16 @@ def main() -> int:
         default=None,
         help="snapshot_speed --json output to fold in as the `snapshot` section",
     )
+    ap.add_argument(
+        "--hhh",
+        default=None,
+        help="fig6_hhh_speed raw Google Benchmark JSON to fold in as the `hhh_speed` section",
+    )
+    ap.add_argument(
+        "--hhh-error",
+        default=None,
+        help="fig8_hhh_error --json output to fold in as the `hhh_error` section",
+    )
     args = ap.parse_args()
 
     with open(args.input, encoding="utf-8") as f:
@@ -344,6 +361,30 @@ def main() -> int:
         if not check_fold_provenance(summary, "snapshot", doc, args.allow_debug):
             return 1
         summary["snapshot"] = doc["snapshot"]
+    if args.hhh:
+        with open(args.hhh, encoding="utf-8") as f:
+            raw_hhh = json.load(f)
+        reduced = reduce_benchmarks(raw_hhh)
+        if not reduced["entries"]:
+            sys.stderr.write("summarize.py: --hhh input has no benchmark rows\n")
+            return 1
+        doc = {"memento_build_type": reduced["host"].get("memento_build_type")}
+        if not check_fold_provenance(summary, "hhh_speed", doc, args.allow_debug):
+            return 1
+        summary["hhh_speed"] = {
+            "entries": reduced["entries"],
+            "pairs": reduced["pairs"],
+            "scaling": reduced["scaling"],
+        }
+    if args.hhh_error:
+        with open(args.hhh_error, encoding="utf-8") as f:
+            doc = json.load(f)
+        if "hhh_error" not in doc:
+            sys.stderr.write("summarize.py: --hhh-error input has no hhh_error section\n")
+            return 1
+        if not check_fold_provenance(summary, "hhh_error", doc, args.allow_debug):
+            return 1
+        summary["hhh_error"] = doc["hhh_error"]
     text = json.dumps(summary, indent=2) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:

@@ -35,6 +35,38 @@
 
 namespace memento::detection {
 
+/// How far a per-shard coverage estimate may scale a detection bar away from
+/// the nominal theta * W before the correction saturates. Past 2x imbalance
+/// the drift model's stationarity assumption is gone and migration (the
+/// coverage rebalancer), not bar scaling, is the right response; the clamp
+/// keeps early-stream and post-reshard transients from swinging bars wildly.
+inline constexpr double kCoverageScaleClamp = 2.0;
+
+/// Drift-model correction factor for one shard (docs/ACCURACY.md,
+/// "Coverage-scaled detection bars"): a shard whose window spans `coverage`
+/// global packets instead of the nominal `window` sees a key's global-window
+/// frequency scaled by coverage / window, so comparing its estimate against
+/// theta * window really compares against a bar of theta * window^2 /
+/// coverage. Multiplying the shard's estimates by window / coverage (equiv-
+/// alently: judging them against theta * coverage) undoes the skew. Clamped
+/// to [1/kCoverageScaleClamp, kCoverageScaleClamp]; degenerate coverage
+/// (empty shard) scales by 1.
+[[nodiscard]] inline double coverage_scale(double window, double coverage) noexcept {
+  if (!(coverage > 0.0) || !(window > 0.0)) return 1.0;
+  const double scale = window / coverage;
+  if (scale > kCoverageScaleClamp) return kCoverageScaleClamp;
+  if (scale < 1.0 / kCoverageScaleClamp) return 1.0 / kCoverageScaleClamp;
+  return scale;
+}
+
+/// The per-shard detection bar itself: theta * coverage, with the same
+/// saturation as coverage_scale. Under perfect balance this is exactly
+/// theta * W_s * N, i.e. the global bar.
+[[nodiscard]] inline double coverage_scaled_bar(double theta, double window,
+                                                double coverage) noexcept {
+  return theta * window / coverage_scale(window, coverage);
+}
+
 /// Expected detection delay of each method, in units of windows.
 struct delays {
   double window = 0.0;

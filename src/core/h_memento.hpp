@@ -48,6 +48,9 @@ struct h_memento_config {
 
 template <typename H>
 class h_memento {
+  static_assert(H::hierarchy_size <= 255,
+                "h_memento: the batch kernel's level column is one byte per packet");
+
  public:
   using key_type = typename H::key_type;
   using hhh_result = std::vector<hhh_entry<key_type>>;
@@ -79,22 +82,57 @@ class h_memento {
 
   /// Batched UPDATE: state-identical to n scalar update(p) calls with the
   /// same seed (sampler and generalization rng are consumed in the same
-  /// order); the sampling decisions and sampled-prefix keys are materialized
-  /// per chunk and replayed through the inner Memento's batch kernel.
+  /// order). Per 256-packet chunk the pipeline is columnar:
+  ///   1. bulk-draw the chunk's sampling decisions (random_table_sampler::fill)
+  ///      and compact the sampled packet indices;
+  ///   2. bulk-draw one generalization level per sampled packet
+  ///      (xoshiro256::fill_bounded_u8 - the rng is consumed exactly as the
+  ///      scalar path's per-sample bounded() calls would);
+  ///   3. materialize the sampled prefix keys in 32-key blocks through the
+  ///      hierarchy's vectorized mask kernel (H::materialize_keys ->
+  ///      util/simd.hpp sllv prefix masking; a scalar-oracle loop for
+  ///      hierarchies without the hook), scattered back to packet order;
+  ///   4. replay through the inner Memento: dense taus scatter back to
+  ///      packet order for the decided-batch kernel (prehash + prefetch of
+  ///      every sampled slot); sparse taus keep the compacted form and take
+  ///      update_batch_sampled, whose gap walk skips unsampled packets in
+  ///      bulk, so chunk cost tracks the sampled count.
   void update_batch(const packet* ps, std::size_t n) {
     constexpr std::size_t kChunk = 256;
     bool decisions[kChunk];
     key_type keys[kChunk];
+    std::uint32_t idx[kChunk];
+    std::uint8_t levels[kChunk];
+    key_type packed[kChunk];
+    // Dense regime: most slots are sampled, so the decided kernel's
+    // every-slot prehash pass is worth its scan. Sparse regime: hand the
+    // COMPACTED keys straight to the gap-skipping kernel - no scatter back
+    // to packet order, no per-packet decision walk downstream.
+    const bool dense = inner_.tau() >= 0.25;
     for (std::size_t i = 0; i < n; i += kChunk) {
       const std::size_t m = std::min(kChunk, n - i);
       sampler_.fill(decisions, m);
+      std::size_t sampled = 0;
       for (std::size_t j = 0; j < m; ++j) {
-        if (decisions[j]) {
-          const auto level = static_cast<std::size_t>(rng_.bounded(H::hierarchy_size));
-          keys[j] = H::key_at(ps[i + j], level);
+        idx[sampled] = static_cast<std::uint32_t>(j);
+        sampled += decisions[j] ? 1 : 0;  // branchless compaction
+      }
+      rng_.fill_bounded_u8(levels, sampled, H::hierarchy_size);
+      if constexpr (requires {
+                      H::materialize_keys(ps, idx, levels, packed, sampled);
+                    }) {
+        H::materialize_keys(ps + i, idx, levels, packed, sampled);
+      } else {
+        for (std::size_t t = 0; t < sampled; ++t) {
+          packed[t] = H::key_at(ps[i + idx[t]], levels[t]);
         }
       }
-      inner_.update_batch_decided(keys, decisions, m);
+      if (dense) {
+        for (std::size_t t = 0; t < sampled; ++t) keys[idx[t]] = packed[t];
+        inner_.update_batch_decided(keys, decisions, m);
+      } else {
+        inner_.update_batch_sampled(packed, idx, sampled, m);
+      }
     }
   }
 
@@ -163,7 +201,38 @@ class h_memento {
   [[nodiscard]] std::uint64_t window_size() const noexcept { return inner_.window_size(); }
   [[nodiscard]] double tau() const noexcept { return inner_.tau(); }
   [[nodiscard]] double delta() const noexcept { return delta_; }
+  [[nodiscard]] std::size_t counters() const noexcept { return inner_.counters(); }
   [[nodiscard]] std::uint64_t stream_length() const noexcept { return inner_.stream_length(); }
+
+  /// Estimate floor in PREFIX units (H * the inner floor): query(x) is at
+  /// least this for every x, so attributable prefix mass is est minus this.
+  /// The shard rebalancer's load model consumes it (shard/rebalance.hpp).
+  [[nodiscard]] double miss_baseline() const noexcept {
+    return static_cast<double>(H::hierarchy_size) * inner_.miss_baseline();
+  }
+
+  /// Visits every candidate prefix with its one-sided window estimate in
+  /// prefix units - the same scaling query() applies. The rebalancer samples
+  /// per-bucket load from this; HHH output deliberately does NOT use it (the
+  /// lattice walk needs monitored_keys(), which includes in-frame-only keys).
+  template <typename Fn>
+  void for_each_candidate(Fn&& fn) const {
+    inner_.for_each_candidate([&](const key_type& key, double est) {
+      fn(key, static_cast<double>(H::hierarchy_size) * est);
+    });
+  }
+
+  [[nodiscard]] std::size_t candidate_count() const noexcept {
+    return inner_.candidate_count();
+  }
+
+  /// The construction budget recovered from live state; feeding it back
+  /// through the ctor reproduces the exact geometry (reshard rebuilds
+  /// replacement shards from it).
+  [[nodiscard]] h_memento_config config_snapshot() const noexcept {
+    return h_memento_config{inner_.window_size(), inner_.counters(), inner_.tau(), delta_,
+                            seed_};
+  }
   /// Window-phase accessor (see memento_sketch::window_phase); lets a shard
   /// frontend monitor per-shard phase skew without reaching through inner().
   /// (Candidate iteration for HHH output deliberately stays on
@@ -265,6 +334,8 @@ class h_memento {
   }
 
  private:
+  friend class snapshot_builder;  ///< reshard's bulk state transport (snapshot/reshard.hpp)
+
   memento_sketch<key_type> inner_;
   random_table_sampler sampler_;
   xoshiro256 rng_;

@@ -154,15 +154,24 @@ class memento_sketch {
       return;
     }
     bool decisions[kBatchChunk];
+    std::uint32_t idx[kBatchChunk];
+    Key packed[kBatchChunk];
     for (std::size_t i = 0; i < n; i += kBatchChunk) {
       const std::size_t m = std::min(kBatchChunk, n - i);
       sampler_.fill(decisions, m);
-      // Dense taus amortize a branch-free hash-precompute pass; sparse taus
-      // hash the few sampled keys inline (see process_chunk pass 1).
+      // Dense taus amortize a branch-free hash-precompute pass over every
+      // slot; sparse taus compact the sampled positions and take the
+      // gap-skipping kernel, whose cost tracks the sampled count.
       if (tau_ >= 0.125) {
         process_chunk<false, true>(xs + i, decisions, m);
       } else {
-        process_chunk<false, false>(xs + i, decisions, m);
+        std::size_t sampled = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+          idx[sampled] = static_cast<std::uint32_t>(j);
+          sampled += decisions[j] ? 1 : 0;  // branchless compaction
+        }
+        for (std::size_t t = 0; t < sampled; ++t) packed[t] = xs[i + idx[t]];
+        update_batch_sampled(packed, idx, sampled, m);
       }
     }
   }
@@ -172,12 +181,45 @@ class memento_sketch {
   /// Batched update with the Bernoulli decisions made by the caller
   /// (H-Memento samples prefixes with its own sampler and rng): packet i
   /// triggers a Full update of xs[i] iff decisions[i]; xs[i] is not read
-  /// otherwise (callers only materialize sampled keys, so the kernel's
-  /// branch-free dense hash pass is off here). Same equivalence guarantee.
+  /// otherwise. Unsampled key slots are uninitialized, so the branch-free
+  /// dense hash pass is off - instead the kernel prehashes and prefetches
+  /// exactly the sampled slots (pass 1 below), which is what overlaps the
+  /// counter-index misses when the caller's keys span a large table (the
+  /// hierarchical frontend's H * k counters). Same equivalence guarantee.
   void update_batch_decided(const Key* xs, const bool* decisions, std::size_t n) {
     for (std::size_t i = 0; i < n; i += kBatchChunk) {
-      process_chunk<false, false>(xs + i, decisions + i, std::min(kBatchChunk, n - i));
+      process_chunk<false, false, true>(xs + i, decisions + i, std::min(kBatchChunk, n - i));
     }
+  }
+
+  /// Batched update with the caller's decisions in COMPACTED form: of a run
+  /// of n packets, exactly `sampled` trigger Full updates - the t-th at
+  /// position idx[t] (strictly increasing, < n) with key keys[t].
+  /// State-identical to update_batch_decided over the expanded buffers, but
+  /// the cost scales with the SAMPLED count plus retirements, not with n:
+  /// unsampled gaps advance the window in bulk (advance_window), so a
+  /// sparse-tau burst never walks per-packet scratch at all. This is the
+  /// sparse-regime hot path of the hierarchical frontend
+  /// (h_memento::update_batch) and of update_batch itself below tau 1/8.
+  void update_batch_sampled(const Key* keys, const std::uint32_t* idx, std::size_t sampled,
+                            std::size_t n) {
+    std::size_t buckets[kBatchChunk];
+    std::size_t pos = 0;
+    for (std::size_t t0 = 0; t0 < sampled; t0 += kBatchChunk) {
+      const std::size_t c = std::min(kBatchChunk, sampled - t0);
+      // Hash + prefetch the chunk's sampled slots up front (the hash is
+      // pure); the counter-index misses then overlap the gap walks.
+      for (std::size_t u = 0; u < c; ++u) buckets[u] = y_.index_bucket(keys[t0 + u]);
+      for (std::size_t u = 0; u < c; ++u) y_.prefetch_bucket(buckets[u]);
+      for (std::size_t u = 0; u < c; ++u) {
+        const std::size_t target = idx[t0 + u];
+        advance_window(static_cast<std::uint64_t>(target - pos));
+        window_update();  // the sampled packet's own clock tick + retirement
+        full_add(keys[t0 + u], buckets[u]);
+        pos = target + 1;
+      }
+    }
+    advance_window(static_cast<std::uint64_t>(n - pos));
   }
 
   /// Algorithm 1 WINDOWUPDATE: advance the clock, expire frame/block state,
@@ -560,19 +602,30 @@ class memento_sketch {
   /// Mutation order is exactly the scalar order - per packet: boundary work,
   /// one retirement, then the Full-update add - so batch and scalar runs are
   /// state-identical; only the bookkeeping around the mutations is hoisted.
-  template <bool AllSampled, bool Prehashed>
+  template <bool AllSampled, bool Prehashed, bool PrehashSampled = false>
   void process_chunk(const Key* xs, const bool* dec, std::size_t m) {
-    // Pass 1 (dense regimes only): hash every key of the chunk - a pure,
+    static_assert(!(Prehashed && PrehashSampled), "pick one hash-precompute pass");
+    // Pass 1 (dense regimes): hash every key of the chunk - a pure,
     // branch-free, vectorizable loop - and prefetch the home slots in the
-    // counter index. In sparse regimes (small tau, or externally-decided
-    // batches that only materialize sampled keys) the precompute pass would
-    // re-walk the decision buffer for a handful of hashes, so sampled adds
-    // hash inline instead and this pass disappears.
+    // counter index. With a small tau the precompute pass would re-walk the
+    // decision buffer for a handful of hashes, so sampled adds hash inline
+    // instead and this pass disappears. Externally-decided batches only
+    // materialize sampled key slots, so they get the PrehashSampled variant:
+    // hash + prefetch exactly the decided slots (the hash is pure, so doing
+    // it early never perturbs state identity).
     std::size_t buckets[kBatchChunk];
     if constexpr (Prehashed) {
       for (std::size_t j = 0; j < m; ++j) buckets[j] = y_.index_bucket(xs[j]);
       for (std::size_t j = 0; j < m; ++j) y_.prefetch_bucket(buckets[j]);
+    } else if constexpr (PrehashSampled) {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (dec[j]) {
+          buckets[j] = y_.index_bucket(xs[j]);
+          y_.prefetch_bucket(buckets[j]);
+        }
+      }
     }
+    constexpr bool kUseBuckets = Prehashed || PrehashSampled;
     // Pass 2: replay the packets in runs that end at the next frame/block
     // boundary, so the boundary test leaves the per-packet loop entirely.
     std::size_t j = 0;
@@ -587,12 +640,12 @@ class memento_sketch {
       for (; j < interior_end && !tail.empty(); ++j) {
         drop_oldest(tail);
         if (AllSampled || dec[j]) {
-          full_add(xs[j], Prehashed ? buckets[j] : y_.index_bucket(xs[j]));
+          full_add(xs[j], kUseBuckets ? buckets[j] : y_.index_bucket(xs[j]));
         }
       }
       for (; j < interior_end; ++j) {
         if (AllSampled || dec[j]) {
-          full_add(xs[j], Prehashed ? buckets[j] : y_.index_bucket(xs[j]));
+          full_add(xs[j], kUseBuckets ? buckets[j] : y_.index_bucket(xs[j]));
         }
       }
       stream_length_ += run;
@@ -609,7 +662,7 @@ class memento_sketch {
         until_block_end_ = block_len_;
         retire_one();
         if (AllSampled || dec[j]) {
-          full_add(xs[j], Prehashed ? buckets[j] : y_.index_bucket(xs[j]));
+          full_add(xs[j], kUseBuckets ? buckets[j] : y_.index_bucket(xs[j]));
         }
         ++j;
       } else {
@@ -628,6 +681,43 @@ class memento_sketch {
       ++overflows_.find_or_emplace(x, 0);
       ++appends_this_block_;
     }
+  }
+
+  /// r consecutive Window updates with no Full adds, in O(block boundaries
+  /// + retirements) instead of O(r). Within one block segment the oldest
+  /// queue is fixed and each packet retires at most one of its overflows,
+  /// so the segment's combined effect is min(length, queued) drops; a
+  /// boundary packet replays the scalar order exactly - flush at the frame
+  /// edge, rotate, then its own retirement from the NEW oldest queue.
+  /// Segment ends land on block boundaries, so `clock_ == frame_len_` is
+  /// hit exactly, never jumped over (frame ends are block ends).
+  void advance_window(std::uint64_t r) {
+    stream_length_ += r;
+    while (r >= until_block_end_) {
+      const std::uint64_t run = until_block_end_;
+      retire_up_to(run - 1);
+      clock_ += run;
+      r -= run;
+      if (clock_ == frame_len_) {
+        clock_ = 0;
+        y_.flush();
+      }
+      rotate_blocks();
+      until_block_end_ = block_len_;
+      retire_one();
+    }
+    if (r > 0) {
+      retire_up_to(r);
+      clock_ += r;
+      until_block_end_ -= r;
+    }
+  }
+
+  /// At most `budget` retirements from the current oldest block's queue.
+  void retire_up_to(std::uint64_t budget) {
+    block_queue& q = blocks_[tail_index()];
+    const auto avail = static_cast<std::uint64_t>(q.items.size() - q.next);
+    for (std::uint64_t d = std::min(budget, avail); d > 0; --d) drop_oldest(q);
   }
 
   /// Ends the current block: the oldest queue leaves the window and a fresh

@@ -9,10 +9,12 @@
 // instance) hashes and compares plain integers (Per.16: compact data).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
 #include "trace/packet.hpp"
+#include "util/simd.hpp"
 
 namespace memento {
 
@@ -112,6 +114,22 @@ struct source_hierarchy {
   [[nodiscard]] static std::string to_string(key_type k) {
     return format_ipv4(prefix1d::key_addr(k)) + "/" +
            std::to_string(prefix1d::prefix_bits(prefix1d::key_depth(k)));
+  }
+
+  /// Batch key materialization for H-Memento's hierarchical kernel:
+  /// out[t] = key_at(ps[idx[t]], levels[t]), equal to the scalar loop but
+  /// pipelined in 32-key blocks - gather the sampled source addresses, then
+  /// mask + pack them through the vectorized prefix kernel
+  /// (simd::make_prefix_keys; the sllv mask table trick lives there).
+  static void materialize_keys(const packet* ps, const std::uint32_t* idx,
+                               const std::uint8_t* levels, key_type* out, std::size_t n) {
+    constexpr std::size_t kBlock = 32;
+    std::uint32_t addrs[kBlock];
+    for (std::size_t i = 0; i < n; i += kBlock) {
+      const std::size_t m = std::min(kBlock, n - i);
+      for (std::size_t j = 0; j < m; ++j) addrs[j] = ps[idx[i + j]].src;
+      simd::make_prefix_keys(addrs, levels + i, out + i, m);
+    }
   }
 };
 

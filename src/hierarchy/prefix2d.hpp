@@ -9,6 +9,7 @@
 // H = 25 and L = 9".
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -16,6 +17,8 @@
 
 #include "hierarchy/prefix1d.hpp"
 #include "trace/packet.hpp"
+#include "util/simd.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 
@@ -27,7 +30,10 @@ struct prefix2d {
   std::uint8_t src_depth = 0;
   std::uint8_t dst_depth = 0;
 
-  friend bool operator==(const prefix2d&, const prefix2d&) = default;
+  // Equality plus a (src, dst, src_depth, dst_depth) lexicographic order -
+  // no lattice meaning, but the snapshot/reshard layer needs a total order
+  // for canonical (deterministic) state rebuilds.
+  friend auto operator<=>(const prefix2d&, const prefix2d&) = default;
 };
 
 namespace prefix2 {
@@ -129,8 +135,78 @@ struct two_dim_hierarchy {
            std::to_string(prefix1d::prefix_bits(k.src_depth)) + ", " + format_ipv4(k.dst) +
            "/" + std::to_string(prefix1d::prefix_bits(k.dst_depth)) + ")";
   }
+
+  /// Batch key materialization, 2-D: out[t] = key_at(ps[idx[t]], levels[t]).
+  /// The lattice pattern i splits into per-dimension depths (i/5, i%5); the
+  /// src and dst columns are then masked independently through the same
+  /// vectorized kernel the 1-D path uses, and the prefix2d structs assembled
+  /// from the masked columns - per 32-key block, so everything stays in L1.
+  static void materialize_keys(const packet* ps, const std::uint32_t* idx,
+                               const std::uint8_t* levels, key_type* out, std::size_t n) {
+    constexpr std::size_t kBlock = 32;
+    std::uint32_t src[kBlock], dst[kBlock], msrc[kBlock], mdst[kBlock];
+    std::uint8_t sd[kBlock], dd[kBlock];
+    for (std::size_t i = 0; i < n; i += kBlock) {
+      const std::size_t m = std::min(kBlock, n - i);
+      for (std::size_t j = 0; j < m; ++j) {
+        const packet& p = ps[idx[i + j]];
+        src[j] = p.src;
+        dst[j] = p.dst;
+        sd[j] = static_cast<std::uint8_t>(levels[i + j] / 5);
+        dd[j] = static_cast<std::uint8_t>(levels[i + j] % 5);
+      }
+      simd::mask_addr_by_depth(src, sd, msrc, m);
+      simd::mask_addr_by_depth(dst, dd, mdst, m);
+      for (std::size_t j = 0; j < m; ++j) {
+        out[i + j] = prefix2d{msrc[j], mdst[j], sd[j], dd[j]};
+      }
+    }
+  }
 };
 
+namespace wire {
+
+/// Key codec for 2-D prefix pairs: the buffered sketch formats carry each
+/// key as a fixed 10-byte record (src, dst, both depths), validated on read
+/// against the lattice invariants - depths inside the 5-level hierarchy and
+/// addresses stored MASKED, so corrupt records cannot materialize keys no
+/// update path could have produced.
+///
+/// The streamed (v2) formats move keys through single-u64 columns; a
+/// prefix2d needs 70 bits (two 32-bit addresses + two depths), so 2-D
+/// sketches serialize through the BUFFERED format only. There is
+/// deliberately no to_u64 - a streamed save of a 2-D sketch is a compile
+/// error, never silent key truncation - and from_u64 (which the buffered
+/// restore path instantiates through its streamed-version sniffing)
+/// rejects unconditionally: no legitimate streamed 2-D image exists, so
+/// any buffer claiming to be one is malformed.
+template <>
+struct codec<memento::prefix2d> {
+  static void put(writer& w, const memento::prefix2d& v) {
+    w.u32(v.src);
+    w.u32(v.dst);
+    w.u8(v.src_depth);
+    w.u8(v.dst_depth);
+  }
+
+  [[nodiscard]] static bool get(reader& r, memento::prefix2d& v) noexcept {
+    if (!r.u32(v.src) || !r.u32(v.dst) || !r.u8(v.src_depth) || !r.u8(v.dst_depth)) {
+      return false;
+    }
+    if (v.src_depth >= memento::prefix1d::kNumLevels ||
+        v.dst_depth >= memento::prefix1d::kNumLevels) {
+      return false;
+    }
+    return v.src == (v.src & memento::prefix1d::mask_for_depth(v.src_depth)) &&
+           v.dst == (v.dst & memento::prefix1d::mask_for_depth(v.dst_depth));
+  }
+
+  [[nodiscard]] static bool from_u64(std::uint64_t, memento::prefix2d&) noexcept {
+    return false;  // see struct comment: no streamed 2-D images exist
+  }
+};
+
+}  // namespace wire
 }  // namespace memento
 
 template <>

@@ -94,8 +94,8 @@ namespace memento {
 /// +infinity when a shard received nothing - a starved shard is the WORST
 /// imbalance, never balance. Shared by the rebalance tests, the fig5
 /// rebalance bench, and any operator dashboard.
-template <typename Key>
-[[nodiscard]] double shard_load_ratio(const sharded_memento<Key>& front,
+template <typename Front>
+[[nodiscard]] double shard_load_ratio(const Front& front,
                                       std::span<const std::uint64_t> since = {}) {
   double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
   for (std::size_t s = 0; s < front.num_shards(); ++s) {
@@ -110,8 +110,8 @@ template <typename Key>
 /// max/min spread of window_coverage() across shards: 1.0 when every
 /// shard's window spans the same amount of global time, growing with the
 /// systematic phase drift the rebalancer exists to remove.
-template <typename Key>
-[[nodiscard]] double coverage_spread(const sharded_memento<Key>& front) {
+template <typename Front>
+[[nodiscard]] double coverage_spread(const Front& front) {
   double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
   for (std::size_t s = 0; s < front.num_shards(); ++s) {
     const double c = front.window_coverage(s);
@@ -152,8 +152,8 @@ class coverage_rebalancer {
   /// within-shard bucket breakdown leans on the (noisy, elephant-dominated)
   /// candidate signal - which is the part that matters for placement.
   /// Exposed for introspection, tests and the fig5 rebalance bench.
-  template <typename Key>
-  [[nodiscard]] static std::vector<double> bucket_loads(const sharded_memento<Key>& front) {
+  template <typename Front>
+  [[nodiscard]] static std::vector<double> bucket_loads(const Front& front) {
     const auto& part = front.partitioner();
     const std::size_t buckets = part.buckets();
     std::vector<double> load(buckets, 0.0);
@@ -166,13 +166,33 @@ class coverage_rebalancer {
       const auto& shard = front.shard(s);
       const auto n_s = static_cast<double>(shard.stream_length());
       if (n_s <= 0.0) continue;
-      const auto w_s = static_cast<double>(shard.window_size());
-      const double baseline = shard.miss_baseline();
+      // Estimates span the previous full frame PLUS the current partial one
+      // (memento.hpp: the overflow ring retires entries k block rotations
+      // after insertion), so the window share each estimate explains is
+      // est / (W + M), not est / W. Dividing by W alone inflates every
+      // share by up to 2x and can push `explained` past 1 on a hot shard -
+      // which zeroes the mouse residue and leaves its light buckets
+      // weightless (they would never migrate).
+      const auto w_s = static_cast<double>(shard.window_size() + shard.window_phase());
       attributed.clear();
       double explained = 0.0;
-      shard.for_each_candidate([&](const Key& key, double est) {
-        const double share = std::max(0.0, est - baseline) / w_s;
-        attributed.emplace_back(part.bucket_of(key), share);
+      // The frontend picks the attribution units: flat fronts visit candidate
+      // flows, hierarchical fronts visit ROUTE-pattern prefixes (which
+      // partition the stream - each packet has exactly one), so a flow is
+      // never credited once per lattice pattern. Bucket lookup goes through
+      // the frontend too; keys with no single owning bucket fall through to
+      // the mouse residue. Raw estimates, deliberately: for the flows heavy
+      // enough to steer placement the +2T slack cancels the in-frame
+      // truncation almost exactly, while subtracting the miss floor would
+      // shift real elephant mass into the evenly-spread residue and
+      // over-weight the hot shard's mouse buckets. Churn-inflated light
+      // candidates can over-explain; the 1/explained normalization below
+      // caps the damage, and balanced deployments never reach plan() at all.
+      front.for_each_attributable(s, [&](const auto& key, double est) {
+        const std::size_t b = front.bucket_of(key);
+        if (b >= buckets) return;
+        const double share = est / w_s;
+        attributed.emplace_back(b, share);
         explained += share;
       });
       const double scale = explained > 1.0 ? 1.0 / explained : 1.0;
@@ -189,8 +209,8 @@ class coverage_rebalancer {
   /// Plans a replacement table, or nullopt when the deployment is already
   /// balanced (trigger not met, or the sticky plan equals the current
   /// assignment). Pure: does not touch the frontend.
-  template <typename Key>
-  [[nodiscard]] std::optional<shard_table> plan(const sharded_memento<Key>& front) const {
+  template <typename Front>
+  [[nodiscard]] std::optional<shard_table> plan(const Front& front) const {
     const auto& part = front.partitioner();
     const std::size_t shards = front.num_shards();
     const std::size_t buckets = part.buckets();
@@ -242,8 +262,8 @@ class coverage_rebalancer {
   /// the planned table, its window state carried over by
   /// snapshot_builder::reshard (no stream replay, <= one threshold unit of
   /// estimate movement per key). True when a migration happened.
-  template <typename Key>
-  bool rebalance(sharded_memento<Key>& front) const {
+  template <typename Front>
+  bool rebalance(Front& front) const {
     const auto table = plan(front);
     if (!table) return false;
     auto next = snapshot_builder::reshard(front, front.config_snapshot(), *table);

@@ -1,78 +1,114 @@
-// Sharded H-Memento smoke path for FLAT ONE-DIMENSIONAL hierarchies.
+// Sharded H-Memento frontend: prefix-aware keyspace partitioning for 1-D
+// AND 2-D hierarchies, with weighted (TABLE-mode) routing and rebalance.
 //
-// Why general HHH sharding is harder than plain HH sharding - and therefore
-// deferred: sharded_memento partitions by the fully-specified flow key, which
-// works because a flow's packets are the only contributors to its counter. A
-// hierarchical prefix, by contrast, aggregates MANY flows; hashing flows
-// across shards would scatter every prefix's mass over all N shards, turning
-// each query into an N-way sum of one-sided estimates (error bars add, so
-// accuracy degrades linearly with N) and entangling the per-shard windows.
-// The 2D lattice makes it worse: src- and dst-rooted generalizations impose
-// incompatible partitions, so no single keyspace hash keeps both aligned.
+// Why HHH sharding is harder than plain HH sharding: sharded_memento
+// partitions by the fully-specified flow key, which works because a flow's
+// packets are the only contributors to its counter. A hierarchical prefix,
+// by contrast, aggregates MANY flows; hashing flows across shards would
+// scatter every prefix's mass over all N shards, turning each query into an
+// N-way sum of one-sided estimates (error bars add, so accuracy degrades
+// linearly with N) and entangling the per-shard windows.
 //
-// For a flat 1-D hierarchy there is a clean special case, implemented here:
-// route by the COARSEST NON-ROOT generalization (the /8 prefix for the
-// 5-level source hierarchy). All of a packet's non-root prefixes share its
-// /8 octet by construction, so every non-root prefix keeps its full mass on
-// exactly one shard and point queries still route - same mergeability as the
-// flat frontend, same per-shard one-sided bounds. Only the root (/0)
-// aggregates across shards; its bounds are answered by summation (a sum of
-// per-shard one-sided bounds is a one-sided bound for the union), which is
-// benign since the root covers the whole window and is trivially a heavy
-// hitter at any theta < 1.
+// The clean route is to partition by the COARSEST ROUTABLE GENERALIZATION:
 //
-// Caveats vs a single H-Memento (this is a smoke path, not the tuned
-// production route): the keyspace partition is over 256 /8 octets - coarse,
-// so a trace concentrated in few /8s shards unevenly (real backbone traces
-// spread widely; the synthetic traces scramble ranks uniformly); and the
-// HHH output walk runs over the union candidate set with per-shard
-// compensation, so admission error at the root level sums across shards.
-// A production design would rebalance octet->shard assignment by observed
-// load; that is future work tracked in ROADMAP.md.
+//   * 1-D (H = 5 byte levels): route by the /8 prefix (depth num_levels - 2).
+//     All of a packet's non-root prefixes share its /8 octet by
+//     construction, so every non-root prefix keeps its full mass on exactly
+//     one shard and point queries still route - same mergeability as the
+//     flat frontend, same per-shard one-sided bounds. Only the root (/0)
+//     aggregates across shards; it is answered by summation (a sum of
+//     per-shard one-sided bounds is a one-sided bound for the union), which
+//     is benign since the root is trivially a heavy hitter at any theta < 1.
+//   * 2-D (H = 25 (src, dst) patterns): route by the (/8, /8) DEPTH PAIR.
+//     Any prefix with BOTH dimensions at depth <= 3 contains only packets
+//     sharing its (src /8, dst /8) octet pair, so all 16 such patterns keep
+//     full mass on one shard. The 9 wildcard patterns (src_depth == 4 or
+//     dst_depth == 4, root included) span route pairs and are answered by
+//     summation - the same rule as the 1-D root, one lattice rank earlier.
+//     This is what the old /8-only smoke path could not express: the 2-D
+//     lattice has no single *flat* keyspace hash aligning both dimensions,
+//     but the (/8,/8) pair IS the coarsest generalization that still nails
+//     every routable pattern to one owner.
+//
+// Routing composes with shard_partitioner exactly like the flat frontend:
+// route key -> bucket (mix64 + fastrange64 over B = 64*N buckets) -> shard
+// via the assignment table (TABLE mode) or plain fastrange (HASH mode). A
+// uniform table routes bit-identically to HASH mode, so the rebalancer's
+// no-op guarantees carry over: nothing moves until prefix-population skew
+// is real. coverage_rebalancer plans tables from the live per-bucket load
+// picture (candidate prefixes map to buckets through bucket_of(), which
+// routes by the prefix's route generalization), and
+// snapshot_builder::reshard transports the window state onto the new table
+// with no stream replay - see shard/rebalance.hpp and snapshot/reshard.hpp.
+//
+// Detection under skew: a shard owning an elephant prefix is overloaded,
+// so its window spans fewer global packets (window_coverage(s) < W) and
+// routed estimates sit low relative to the global window - borderline HHHs
+// flicker. output_coverage_scaled() applies the ACCURACY.md drift model:
+// each routed bound is scaled by W / coverage(owner) (clamped, see
+// detection::coverage_scale), which re-centers the detection bar at
+// theta * coverage(s) per shard. The flat frontend exposes the same model
+// through heavy_hitters_coverage_scaled().
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "core/detection_model.hpp"
 #include "core/h_memento.hpp"
 #include "hierarchy/prefix1d.hpp"
+#include "hierarchy/prefix2d.hpp"
 #include "shard/partitioner.hpp"
+#include "util/wire.hpp"
 
 namespace memento {
 
+/// Construction budget of a sharded HHH deployment: the global h_memento
+/// budget plus the shard count. What config_snapshot() recovers and
+/// snapshot_builder::reshard rebuilds replacement frontends from.
+struct hhh_shard_config {
+  h_memento_config base;   ///< GLOBAL window/counter/tau/delta budget
+  std::size_t shards = 1;  ///< N: number of partitions
+};
+
 template <typename H = source_hierarchy>
 class sharded_h_memento {
-  static_assert(!H::two_dimensional,
-                "sharded_h_memento: only flat 1-D hierarchies shard cleanly (see header)");
-  static_assert(std::is_same_v<typename H::key_type, std::uint64_t>,
-                "sharded_h_memento: routing uses the prefix1d uint64 key encoding");
+  static_assert(H::two_dimensional ? std::is_same_v<typename H::key_type, prefix2d>
+                                   : std::is_same_v<typename H::key_type, std::uint64_t>,
+                "sharded_h_memento: routing understands the prefix1d uint64 encoding "
+                "and the prefix2d pair encoding");
 
  public:
   using key_type = typename H::key_type;
   using hhh_result = typename h_memento<H>::hhh_result;
 
-  /// Depth of the routing level: the coarsest non-root generalization.
-  static constexpr std::size_t kRouteDepth = H::num_levels - 2;
-  /// Depth of the root (full wildcard), answered by summation.
+  /// 1-D: depth of the routing level (the coarsest non-root generalization).
+  /// 2-D: the per-dimension routing depth (the /8 of each dimension).
+  static constexpr std::size_t kRouteDepth = H::two_dimensional ? 3 : H::num_levels - 2;
+  /// 1-D only: depth of the root (full wildcard), answered by summation.
   static constexpr std::size_t kRootDepth = H::num_levels - 1;
+  /// bucket_of() result for prefixes with no single owner (summed keys).
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
 
   /// @param config global budgets, divided evenly (as in sharded_memento):
   /// each shard runs an h_memento with W/N window and k/N counters.
-  sharded_h_memento(const h_memento_config& config, std::size_t shards) : part_(shards) {
-    if (shards == 0) throw std::invalid_argument("sharded_h_memento: shards must be >= 1");
-    if (config.window_size == 0 || config.counters == 0) {
-      throw std::invalid_argument("sharded_h_memento: W and counters must be >= 1");
-    }
-    shards_.reserve(shards);
-    for (std::size_t s = 0; s < shards; ++s) {
-      shards_.emplace_back(shard_config_for(config, shards, s));
-    }
-    scratch_.resize(shards);
-  }
+  sharded_h_memento(const h_memento_config& config, std::size_t shards)
+      : sharded_h_memento(config, shards, shard_partitioner<key_type>(shards)) {}
+
+  /// Weighted (TABLE-mode) frontend: routes prefix buckets through `table`.
+  /// A uniform table is bit-identical to the plain ctor; a skewed one is
+  /// what the rebalancer installs. Throws on a table that does not fit.
+  sharded_h_memento(const h_memento_config& config, std::size_t shards, shard_table table)
+      : sharded_h_memento(config, shards,
+                          shard_partitioner<key_type>(shards, std::move(table))) {}
 
   /// The h_memento_config shard s runs with: the same budget split and seed
   /// derivation as sharded_memento::shard_config_for (shared helpers in
@@ -86,20 +122,83 @@ class sharded_h_memento {
     return c;
   }
 
-  /// Owning shard of a packet: hash of its routing-level prefix.
-  [[nodiscard]] std::size_t shard_of(const packet& p) const noexcept {
-    return part_(H::key_at(p, kRouteDepth));
+  // --- routing ---------------------------------------------------------------
+
+  /// The routing generalization of a packet: its /8 (1-D) or (/8, /8) pair.
+  [[nodiscard]] static constexpr key_type route_key_of(const packet& p) noexcept {
+    if constexpr (H::two_dimensional) {
+      return prefix2::make(p.src, kRouteDepth, p.dst, kRouteDepth);
+    } else {
+      return H::key_at(p, kRouteDepth);
+    }
   }
 
-  /// Owning shard of a non-root prefix key (the root has no single owner).
-  [[nodiscard]] std::size_t shard_of_key(key_type k) const noexcept {
-    return part_(prefix1d::make_key(prefix1d::key_addr(k), kRouteDepth));
+  /// True when the prefix keeps its full mass on one shard (see file
+  /// comment); false for the keys answered by summation.
+  [[nodiscard]] static constexpr bool routable(const key_type& k) noexcept {
+    if constexpr (H::two_dimensional) {
+      return k.src_depth <= kRouteDepth && k.dst_depth <= kRouteDepth;
+    } else {
+      return prefix1d::key_depth(k) <= kRouteDepth;
+    }
   }
+
+  /// The routing generalization of a ROUTABLE prefix key: every packet
+  /// contributing to the prefix shares it, so it identifies the owner.
+  [[nodiscard]] static constexpr key_type route_key_of_key(const key_type& k) noexcept {
+    if constexpr (H::two_dimensional) {
+      return prefix2::make(k.src, kRouteDepth, k.dst, kRouteDepth);
+    } else {
+      return prefix1d::make_key(prefix1d::key_addr(k), kRouteDepth);
+    }
+  }
+
+  /// Owning shard of a packet: routed through the partitioner (TABLE or
+  /// HASH mode) on its routing generalization.
+  [[nodiscard]] std::size_t shard_of(const packet& p) const noexcept {
+    return part_(route_key_of(p));
+  }
+
+  /// Owning shard of a routable prefix key (summed keys have no single
+  /// owner; callers check routable() first, as query() does).
+  [[nodiscard]] std::size_t shard_of_key(const key_type& k) const noexcept {
+    return part_(route_key_of_key(k));
+  }
+
+  /// The prefix's routing bucket - the rebalancer's migration unit - or
+  /// npos for summed keys (their mass follows no single bucket).
+  [[nodiscard]] std::size_t bucket_of(const key_type& k) const noexcept {
+    return routable(k) ? part_.bucket_of(route_key_of_key(k)) : npos;
+  }
+
+  /// Attribution walk for the rebalancer's per-bucket load model
+  /// (shard/rebalance.hpp): visits shard s's candidates at the ROUTE
+  /// pattern only - the /8 level in 1-D, the (/8, /8) pair in 2-D - with
+  /// the same prefix-unit scaling for_each_candidate applies. Route-pattern
+  /// keys partition the packet stream (every packet has exactly one
+  /// route-level generalization), so each packet's mass is credited to its
+  /// bucket exactly once; walking the whole lattice instead would count a
+  /// flow once per routable pattern (16x in 2-D), push the planner's
+  /// explained share past 1 and starve the mouse residue that places the
+  /// below-candidate buckets.
+  template <typename Fn>
+  void for_each_attributable(std::size_t s, Fn&& fn) const {
+    shards_[s].inner().for_each_candidate([&](const key_type& key, double est) {
+      if constexpr (H::two_dimensional) {
+        if (key.src_depth != kRouteDepth || key.dst_depth != kRouteDepth) return;
+      } else {
+        if (prefix1d::key_depth(key) != kRouteDepth) return;
+      }
+      fn(key, static_cast<double>(H::hierarchy_size) * est);
+    });
+  }
+
+  // --- ingest ----------------------------------------------------------------
 
   void update(const packet& p) { shards_[shard_of(p)].update(p); }
 
   /// Burst ingest: partition by routing prefix, feed each shard's
-  /// h_memento::update_batch (which drives the inner batch kernel).
+  /// h_memento::update_batch (which drives the batched hierarchical kernel).
   void update_batch(const packet* ps, std::size_t n) {
     if (shards_.size() == 1) {
       shards_[0].update_batch(ps, n);
@@ -113,10 +212,12 @@ class sharded_h_memento {
 
   void update_batch(std::span<const packet> ps) { update_batch(ps.data(), ps.size()); }
 
+  // --- queries ---------------------------------------------------------------
+
   /// One-sided window-frequency upper bound for a prefix: routed for
-  /// non-root prefixes, summed across shards for the root.
-  [[nodiscard]] double query(key_type prefix) const {
-    if (H::depth(prefix) == kRootDepth) {
+  /// routable prefixes, summed across shards for the wildcard patterns.
+  [[nodiscard]] double query(const key_type& prefix) const {
+    if (!routable(prefix)) {
       double sum = 0.0;
       for (const auto& shard : shards_) sum += shard.query(prefix);
       return sum;
@@ -124,9 +225,9 @@ class sharded_h_memento {
     return shards_[shard_of_key(prefix)].query(prefix);
   }
 
-  /// Matching lower bound (routed; summed for the root).
-  [[nodiscard]] double query_lower(key_type prefix) const {
-    if (H::depth(prefix) == kRootDepth) {
+  /// Matching lower bound (routed; summed for the wildcard patterns).
+  [[nodiscard]] double query_lower(const key_type& prefix) const {
+    if (!routable(prefix)) {
       double sum = 0.0;
       for (const auto& shard : shards_) sum += shard.query_lower(prefix);
       return sum;
@@ -139,19 +240,20 @@ class sharded_h_memento {
   /// bound oracle above. Thresholding is against the global window; the
   /// sampling compensation is per-shard (all shards share one geometry).
   [[nodiscard]] hhh_result output(double theta) const {
-    std::vector<key_type> candidates;
-    for (const auto& shard : shards_) {
-      auto keys = shard.inner().monitored_keys();
-      candidates.insert(candidates.end(), keys.begin(), keys.end());
-    }
-    const double threshold = theta * static_cast<double>(window_size());
-    return solve_hhh<H>(
-        std::move(candidates),
-        [this](const key_type& k) {
-          return freq_bounds{query(k), query_lower(k)};
-        },
-        threshold, shards_[0].sampling_compensation());
+    return output_impl(theta, /*coverage_scaled=*/false);
   }
+
+  /// OUTPUT with the coverage-scaled detection bars of the ACCURACY.md
+  /// drift model: each routed bound is multiplied by W / coverage(owner)
+  /// (clamped; detection::coverage_scale), so a borderline prefix on an
+  /// overloaded shard - whose window spans fewer global packets than the
+  /// nominal W - is judged against theta * coverage(s) instead of a bar it
+  /// systematically undershoots. Summed keys scale per contributing shard.
+  [[nodiscard]] hhh_result output_coverage_scaled(double theta) const {
+    return output_impl(theta, /*coverage_scaled=*/true);
+  }
+
+  // --- introspection ---------------------------------------------------------
 
   /// Effective global window (sum of the shards' rounded windows).
   [[nodiscard]] std::uint64_t window_size() const noexcept {
@@ -166,13 +268,244 @@ class sharded_h_memento {
     return n;
   }
 
+  /// Estimated GLOBAL packets spanned by shard s's window: W_s * n / n_s
+  /// under stationarity (W_s for an empty stream) - the same phase-drift
+  /// monitor the flat frontend exposes; see sharded_memento::window_coverage.
+  [[nodiscard]] double window_coverage(std::size_t s) const noexcept {
+    const auto& shard = shards_[s];
+    if (shard.stream_length() == 0) return static_cast<double>(shard.window_size());
+    return static_cast<double>(shard.window_size()) * static_cast<double>(stream_length()) /
+           static_cast<double>(shard.stream_length());
+  }
+
+  /// Largest absolute deviation of any shard's packet count from the ideal
+  /// n/N share - realized prefix-population skew. 0 for N == 1.
+  [[nodiscard]] double stream_skew() const noexcept {
+    const double ideal =
+        static_cast<double>(stream_length()) / static_cast<double>(shards_.size());
+    double worst = 0.0;
+    for (const auto& shard : shards_) {
+      worst = std::max(worst, std::abs(static_cast<double>(shard.stream_length()) - ideal));
+    }
+    return worst;
+  }
+
+  /// The global construction budget recovered from the live shards (every
+  /// shard runs the shard_share slice, so per-shard * N is the rounded
+  /// global budget). Reshard and the rebalancer rebuild replacements from it.
+  [[nodiscard]] hhh_shard_config config_snapshot() const noexcept {
+    hhh_shard_config c;
+    c.base = shards_[0].config_snapshot();
+    c.base.window_size *= shards_.size();
+    c.base.counters *= shards_.size();
+    c.base.seed = base_seed_;
+    c.shards = shards_.size();
+    return c;
+  }
+
+  /// Skew-aware rebalance (same contract as sharded_memento::rebalance):
+  /// `policy` plans a bucket -> shard table from the live load picture and
+  /// migrates the window state onto it through the snapshot reshard path.
+  template <typename Policy>
+  bool rebalance(const Policy& policy) {
+    return policy.rebalance(*this);
+  }
+
   [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
   [[nodiscard]] const h_memento<H>& shard(std::size_t s) const noexcept { return shards_[s]; }
+  [[nodiscard]] const shard_partitioner<key_type>& partitioner() const noexcept { return part_; }
+
+  // --- snapshot support ------------------------------------------------------
+  // A frontend snapshot is the routing state (base seed + bucket table, if
+  // weighted) followed by the ordered sequence of its shards' h_memento
+  // sections. Restored frontends route, sample and answer bit-identically -
+  // including through a rebalanced (weighted) table.
+
+  static constexpr std::uint16_t kWireTag = 0x4848;  ///< "HH"
+  static constexpr std::uint16_t kWireVersion = 1;
+  /// Streamed framing (wire::sink/source): FoR-packed bucket table, per-shard
+  /// streamed sections, section CRC.
+  static constexpr std::uint16_t kWireVersionStream = 2;
+
+  /// Serializes the frontend as one versioned section.
+  void save(wire::writer& w) const {
+    const std::size_t tok = w.begin_section(kWireTag, kWireVersion);
+    w.varint(shards_.size());
+    w.u64(base_seed_);
+    const shard_table& t = part_.table();
+    w.varint(t.buckets());  // 0 == HASH mode
+    for (const std::uint32_t s : t.to_shard) w.varint(s);
+    for (const auto& shard : shards_) shard.save(w);
+    w.end_section(tok);
+  }
+
+  /// Rebuilds a frontend from save() output; nullopt on any malformed input
+  /// (see h_memento::restore for the per-shard validation contract; the
+  /// bucket table additionally must be non-degenerate for the shard count).
+  [[nodiscard]] static std::optional<sharded_h_memento> restore(wire::reader& r) {
+    std::uint16_t ptag = 0, pver = 0;
+    if (r.peek_section(ptag, pver) && ptag == kWireTag && pver == kWireVersionStream) {
+      wire::source src(r.rest());
+      auto out = restore(src);
+      if (!out) return std::nullopt;
+      r.skip(src.consumed());
+      return out;
+    }
+    std::uint16_t version = 0;
+    wire::reader body;
+    if (!r.open_section(kWireTag, version, body) || version != kWireVersion) return std::nullopt;
+    std::uint64_t n = 0, seed = 0, buckets = 0;
+    if (!body.varint(n) || n == 0 || n > kMaxRestoreShards) return std::nullopt;
+    if (!body.u64(seed) || !body.varint(buckets)) return std::nullopt;
+    // Each table entry costs at least one byte, so a lying bucket count is
+    // rejected before the reserve below can allocate against it.
+    if (buckets > kMaxRestoreBuckets || buckets > body.remaining()) return std::nullopt;
+    shard_table table;
+    table.to_shard.reserve(static_cast<std::size_t>(buckets));
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+      std::uint64_t s = 0;
+      if (!body.varint(s) || s >= n) return std::nullopt;
+      table.to_shard.push_back(static_cast<std::uint32_t>(s));
+    }
+    if (buckets != 0 && !table.valid_for(static_cast<std::size_t>(n))) return std::nullopt;
+    std::vector<h_memento<H>> shards;
+    shards.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t s = 0; s < n; ++s) {
+      auto shard = h_memento<H>::restore(body);
+      if (!shard) return std::nullopt;
+      shards.push_back(std::move(*shard));
+    }
+    if (!body.done()) return std::nullopt;
+    auto part = buckets == 0
+                    ? shard_partitioner<key_type>(static_cast<std::size_t>(n))
+                    : shard_partitioner<key_type>(static_cast<std::size_t>(n), std::move(table));
+    return sharded_h_memento(std::move(shards), std::move(part), seed);
+  }
+
+  /// Streamed counterpart of save(): routing scalars, the bucket table as
+  /// one FoR column, then each shard's streamed section in order. 1-D
+  /// hierarchies only - prefix2d exceeds the streamed formats' 64-bit key
+  /// column (wire::codec<prefix2d>), so instantiating this for a 2-D
+  /// frontend is a compile error; 2-D deployments checkpoint buffered.
+  void save(wire::sink& s, bool packed = true) const {
+    s.begin_section(kWireTag, kWireVersionStream);
+    s.u8(packed ? wire::kCodecPacked : 0);
+    s.varint(shards_.size());
+    s.u64(base_seed_);
+    const shard_table& t = part_.table();
+    s.varint(t.buckets());  // 0 == HASH mode
+    std::size_t i = 0;
+    wire::put_u64_array(s, t.to_shard.size(), packed, [&] { return t.to_shard[i++]; });
+    for (const auto& shard : shards_) shard.save(s, packed);
+    s.end_section();
+  }
+
+  /// Rebuilds a frontend from streamed save() output; same validation
+  /// contract as the buffered restore plus the section CRC.
+  [[nodiscard]] static std::optional<sharded_h_memento> restore(wire::source& s) {
+    std::uint16_t version = 0;
+    if (!s.open_section(kWireTag, version) || version != kWireVersionStream) return std::nullopt;
+    std::uint8_t flags = 0;
+    if (!s.u8(flags) || (flags & ~wire::kCodecKnownMask) != 0) return std::nullopt;
+    const bool packed = (flags & wire::kCodecPacked) != 0;
+    std::uint64_t n = 0, seed = 0, buckets = 0;
+    if (!s.varint(n) || n == 0 || n > kMaxRestoreShards) return std::nullopt;
+    if (!s.u64(seed) || !s.varint(buckets)) return std::nullopt;
+    if (buckets > kMaxRestoreBuckets) return std::nullopt;
+    shard_table table;
+    table.to_shard.reserve(static_cast<std::size_t>(buckets));
+    if (!wire::get_u64_array(s, static_cast<std::size_t>(buckets), packed, [&](std::uint64_t v) {
+          if (v >= n) return false;
+          table.to_shard.push_back(static_cast<std::uint32_t>(v));
+          return true;
+        })) {
+      return std::nullopt;
+    }
+    if (buckets != 0 && !table.valid_for(static_cast<std::size_t>(n))) return std::nullopt;
+    std::vector<h_memento<H>> shards;
+    shards.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto shard = h_memento<H>::restore(s);
+      if (!shard) return std::nullopt;
+      shards.push_back(std::move(*shard));
+    }
+    if (!s.close_section()) return std::nullopt;
+    auto part = buckets == 0
+                    ? shard_partitioner<key_type>(static_cast<std::size_t>(n))
+                    : shard_partitioner<key_type>(static_cast<std::size_t>(n), std::move(table));
+    return sharded_h_memento(std::move(shards), std::move(part), seed);
+  }
 
  private:
+  /// Restore-side guards, matching sharded_memento's.
+  static constexpr std::uint64_t kMaxRestoreShards = 4096;
+  static constexpr std::uint64_t kMaxRestoreBuckets = 1u << 20;
+
+  friend class snapshot_builder;  ///< reshard constructs frontends from parts
+
+  /// The shared construction path: both public ctors land here with the
+  /// partitioner (HASH or TABLE mode) already built and validated.
+  sharded_h_memento(const h_memento_config& config, std::size_t shards,
+                    shard_partitioner<key_type>&& part)
+      : part_(std::move(part)), base_seed_(config.seed) {
+    if (shards == 0) throw std::invalid_argument("sharded_h_memento: shards must be >= 1");
+    if (config.window_size == 0 || config.counters == 0) {
+      throw std::invalid_argument("sharded_h_memento: W and counters must be >= 1");
+    }
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.emplace_back(shard_config_for(config, shards, s));
+    }
+    scratch_.resize(shards);
+  }
+
+  /// Assembles a frontend directly from restored/resharded shard instances
+  /// with an explicit router and seed. Snapshot-layer only.
+  sharded_h_memento(std::vector<h_memento<H>>&& shards, shard_partitioner<key_type>&& part,
+                    std::uint64_t base_seed)
+      : part_(std::move(part)), shards_(std::move(shards)), base_seed_(base_seed) {
+    scratch_.resize(shards_.size());
+  }
+
+  /// The shared lattice walk behind output()/output_coverage_scaled(): one
+  /// candidate union, one bound oracle; the scaled variant multiplies each
+  /// shard's contribution by its drift-model coverage correction.
+  [[nodiscard]] hhh_result output_impl(double theta, bool coverage_scaled) const {
+    std::vector<key_type> candidates;
+    for (const auto& shard : shards_) {
+      auto keys = shard.inner().monitored_keys();
+      candidates.insert(candidates.end(), keys.begin(), keys.end());
+    }
+    const double w = static_cast<double>(window_size());
+    std::vector<double> scale(shards_.size(), 1.0);
+    if (coverage_scaled) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        scale[s] = detection::coverage_scale(w, window_coverage(s));
+      }
+    }
+    const double threshold = theta * w;
+    return solve_hhh<H>(
+        std::move(candidates),
+        [this, &scale](const key_type& k) {
+          if (!routable(k)) {
+            double hi = 0.0, lo = 0.0;
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+              hi += scale[s] * shards_[s].query(k);
+              lo += scale[s] * shards_[s].query_lower(k);
+            }
+            return freq_bounds{hi, lo};
+          }
+          const std::size_t s = shard_of_key(k);
+          return freq_bounds{scale[s] * shards_[s].query(k),
+                             scale[s] * shards_[s].query_lower(k)};
+        },
+        threshold, shards_[0].sampling_compensation());
+  }
+
   shard_partitioner<key_type> part_;
   std::vector<h_memento<H>> shards_;
   std::vector<std::vector<packet>> scratch_;
+  std::uint64_t base_seed_ = 1;  ///< config.seed; reshard/rebalance reuse it
 };
 
 }  // namespace memento

@@ -76,6 +76,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/detection_model.hpp"
 #include "core/memento.hpp"
 #include "shard/partitioner.hpp"
 #include "util/compress.hpp"
@@ -128,6 +129,20 @@ class sharded_memento {
   /// Owning shard of x (pure; stable for the lifetime of the frontend).
   [[nodiscard]] std::size_t shard_of(const Key& x) const noexcept { return part_(x); }
 
+  /// The key's routing bucket - the rebalancer's migration unit. Flat
+  /// frontends route by the key itself, so every key has an owning bucket.
+  [[nodiscard]] std::size_t bucket_of(const Key& x) const noexcept {
+    return part_.bucket_of(x);
+  }
+
+  /// Attribution walk for the rebalancer's per-bucket load model
+  /// (shard/rebalance.hpp): for a flat frontend every candidate flow is its
+  /// own routable unit, so this is exactly shard s's candidate set.
+  template <typename Fn>
+  void for_each_attributable(std::size_t s, Fn&& fn) const {
+    shards_[s].for_each_candidate(std::forward<Fn>(fn));
+  }
+
   /// Routes one packet to its owning shard. O(1).
   void update(const Key& x) { shards_[part_(x)].update(x); }
 
@@ -176,6 +191,29 @@ class sharded_memento {
     for (const auto& shard : shards_) {
       shard.for_each_candidate([&](const Key& key, double est) {
         if (est >= bar) out.push_back({key, est});
+      });
+    }
+    std::sort(out.begin(), out.end(),
+              [](const heavy_hitter& a, const heavy_hitter& b) { return a.estimate > b.estimate; });
+    return out;
+  }
+
+  /// heavy_hitters() with the coverage-scaled per-shard bars of the
+  /// ACCURACY.md drift model: shard s's candidates are admitted at
+  /// theta * coverage(s) (saturated; detection::coverage_scaled_bar) instead
+  /// of theta * W, so borderline hitters on an overloaded shard - whose
+  /// window spans fewer global packets than nominal - stop flickering out.
+  /// Reported estimates are re-centered onto the global window by the same
+  /// factor, keeping the theta-cut and the printed numbers consistent.
+  [[nodiscard]] std::vector<heavy_hitter> heavy_hitters_coverage_scaled(double theta) const {
+    std::vector<heavy_hitter> out;
+    out.reserve(candidate_count());
+    const double w = static_cast<double>(window_size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const double scale = detection::coverage_scale(w, window_coverage(s));
+      const double bar = theta * w / scale;
+      shards_[s].for_each_candidate([&](const Key& key, double est) {
+        if (est >= bar) out.push_back({key, est * scale});
       });
     }
     std::sort(out.begin(), out.end(),

@@ -53,6 +53,7 @@
 
 #include "core/memento.hpp"
 #include "shard/partitioner.hpp"
+#include "shard/sharded_h_memento.hpp"
 #include "shard/sharded_memento.hpp"
 #include "sketch/space_saving.hpp"
 #include "snapshot/snapshot.hpp"
@@ -105,6 +106,27 @@ class snapshot_builder {
     return reshard_impl(*old, config, /*table=*/nullptr);
   }
 
+  /// Hierarchical overload: migrate a sharded_h_memento onto a planned
+  /// bucket table - the HHH rebalancer's primitive. The shard COUNT must be
+  /// unchanged (config.shards == old.num_shards()): HHH routing sends
+  /// non-routable (wildcard-dimension) prefixes back to their original
+  /// shard index, which is only meaningful while the shard set is stable;
+  /// elastic N -> M scaling of the hierarchical frontend is future work.
+  /// Same transport bounds as the flat path; the per-shard sampler/PRNG
+  /// timelines restart (deterministic continuation, as always for reshard).
+  template <typename H>
+  [[nodiscard]] static std::optional<sharded_h_memento<H>> reshard(
+      const sharded_h_memento<H>& old, const hhh_shard_config& config,
+      const shard_table& table) {
+    if (config.shards == 0 || config.shards != old.num_shards()) return std::nullopt;
+    if (config.base.window_size == 0 || config.base.counters == 0) return std::nullopt;
+    if (!table.valid_for(config.shards)) return std::nullopt;
+    if (!compatible_hhh(old, config)) return std::nullopt;
+    auto fresh = sharded_h_memento<H>(config.base, config.shards, table);
+    if (!transport_hhh(old, fresh)) return std::nullopt;
+    return fresh;
+  }
+
  private:
   /// The single guard + construct + transport path every public overload
   /// lands on; `table` selects TABLE-mode routing when non-null.
@@ -143,19 +165,72 @@ class snapshot_builder {
            target.overflow_threshold() == ref.overflow_threshold();
   }
 
-  /// The state move: re-buckets every piece of window state from `old` into
-  /// the already-constructed (empty) `fresh` according to fresh's
-  /// partitioner - which is what lets the same code serve plain N -> M
-  /// reshard (hash routing) and weighted rebalance (table routing). False
-  /// when the source is not a valid disjoint partition.
+  /// Source homogeneity + target geometry guard for the hierarchical
+  /// reshard: the same contract as compatible(), phrased against the
+  /// shards' INNER sketches (the wrapper adds no window geometry of its
+  /// own - sampler/PRNG state restarts on migration by design).
+  template <typename H>
+  [[nodiscard]] static bool compatible_hhh(const sharded_h_memento<H>& old,
+                                           const hhh_shard_config& config) {
+    const auto& ref = old.shard(0).inner();
+    for (std::size_t o = 1; o < old.num_shards(); ++o) {
+      const auto& s = old.shard(o).inner();
+      if (s.counters() != ref.counters() || s.window_size() != ref.window_size() ||
+          s.tau() != ref.tau()) {
+        return false;
+      }
+    }
+    const h_memento_config probe_cfg =
+        sharded_h_memento<H>::shard_config_for(config.base, config.shards, /*shard=*/0);
+    const memento_sketch<typename H::key_type> probe(
+        memento_config{probe_cfg.window_size, probe_cfg.counters, probe_cfg.tau,
+                       probe_cfg.seed});
+    return probe.tau() == ref.tau() &&
+           probe.overflow_threshold() == ref.overflow_threshold();
+  }
+
+  /// The state move, flat frontend: every key's new owner is fresh's
+  /// partition function - which is what lets the same code serve plain
+  /// N -> M reshard (hash routing) and weighted rebalance (table routing).
   template <typename Key>
   [[nodiscard]] static bool transport(const sharded_memento<Key>& old,
                                       sharded_memento<Key>& fresh) {
-    const auto& ref = old.shard(0);
-    const std::size_t m = fresh.num_shards();
     const shard_partitioner<Key>& owner = fresh.partitioner();
-    const std::size_t k_old = ref.counters();
-    const std::size_t k_new = fresh.shard(0).counters();
+    return transport_state<Key>(
+        old.num_shards(), fresh.num_shards(),
+        [&](std::size_t o) -> const memento_sketch<Key>& { return old.shard(o); },
+        [&](std::size_t s) -> memento_sketch<Key>& { return fresh.shards_[s]; },
+        [&](const Key& key, std::size_t) { return owner(key); });
+  }
+
+  /// The state move, hierarchical frontend: routable prefixes follow
+  /// fresh's prefix routing; wildcard-pattern keys keep their old shard
+  /// index (M == N, enforced by the public overload), so the disjointness
+  /// invariant - no key contributed twice to one new shard - is preserved.
+  template <typename H>
+  [[nodiscard]] static bool transport_hhh(const sharded_h_memento<H>& old,
+                                          sharded_h_memento<H>& fresh) {
+    using Key = typename H::key_type;
+    return transport_state<Key>(
+        old.num_shards(), fresh.num_shards(),
+        [&](std::size_t o) -> const memento_sketch<Key>& { return old.shard(o).inner(); },
+        [&](std::size_t s) -> memento_sketch<Key>& { return fresh.shards_[s].inner_; },
+        [&](const Key& key, std::size_t o) {
+          return sharded_h_memento<H>::routable(key) ? fresh.shard_of_key(key) : o;
+        });
+  }
+
+  /// The shared re-bucketing engine behind both transports: walks the old
+  /// sketches' counters / overflow tables / block rings, assigns each piece
+  /// of state through `owner_of(key, old_shard)`, and loads the new
+  /// sketches in canonical form. False when the source is not a valid
+  /// disjoint partition.
+  template <typename Key, typename OldSketchAt, typename NewSketchAt, typename OwnerFn>
+  [[nodiscard]] static bool transport_state(std::size_t n_old, std::size_t m,
+                                            OldSketchAt&& old_at, NewSketchAt&& new_at,
+                                            OwnerFn&& owner_of) {
+    const std::size_t k_old = old_at(0).counters();
+    const std::size_t k_new = new_at(0).counters();
 
     struct carried {
       Key key{};
@@ -167,16 +242,16 @@ class snapshot_builder {
     std::vector<std::vector<std::pair<std::uint32_t, Key>>> queued(m);  // (new age, key)
 
     std::uint64_t sum_clock = 0, sum_frame = 0, sum_stream = 0;
-    for (std::size_t o = 0; o < old.num_shards(); ++o) {
-      const auto& src = old.shard(o);
+    for (std::size_t o = 0; o < n_old; ++o) {
+      const auto& src = old_at(o);
       sum_clock += src.window_phase();
       sum_frame += src.window_size();
       sum_stream += src.stream_length();
       src.y_.for_each([&](const Key& key, std::uint64_t count, std::uint64_t over) {
-        counters[owner(key)].push_back({key, count, over});
+        counters[owner_of(key, o)].push_back({key, count, over});
       });
       src.overflows_.for_each([&](const Key& key, std::uint32_t b) {
-        overflow[owner(key)].push_back({key, b});
+        overflow[owner_of(key, o)].push_back({key, b});
       });
       // Walk the ring newest-first so ages are deterministic: age 0 is the
       // current block, age k_old the one about to expire.
@@ -186,13 +261,13 @@ class snapshot_builder {
         const auto& q = src.blocks_[slot];
         const auto new_age = scale_age(age, k_old, k_new);
         for (std::size_t i = q.next; i < q.items.size(); ++i) {
-          queued[owner(q.items[i])].push_back({new_age, q.items[i]});
+          queued[owner_of(q.items[i], o)].push_back({new_age, q.items[i]});
         }
       }
     }
 
     // All new shards restart at the old deployment's average window phase.
-    const std::uint64_t frame = fresh.shard(0).window_size();
+    const std::uint64_t frame = new_at(0).window_size();
     std::uint64_t clock = sum_frame == 0 ? 0
                                          : static_cast<std::uint64_t>(
                                                static_cast<double>(sum_clock) /
@@ -201,7 +276,7 @@ class snapshot_builder {
     if (clock >= frame) clock = frame - 1;
 
     for (std::size_t s = 0; s < m; ++s) {
-      auto& dst = fresh.shards_[s];
+      auto& dst = new_at(s);
       if (!load_space_saving(dst.y_, counters[s], k_new)) return false;
       for (const auto& [key, b] : overflow[s]) {
         // Disjoint old shards can never contribute the same key twice; a

@@ -91,6 +91,18 @@ class xoshiro256 {
     return fastrange64((*this)(), bound);
   }
 
+  /// Bulk counterpart of bounded() for batched update paths (the level
+  /// column of H-Memento's batch kernel): writes the next n draws from
+  /// [0, bound) into out, consuming the generator exactly as n sequential
+  /// bounded() calls would - same draws, same state afterwards - so batch
+  /// and scalar consumers pick identical generalizations from one seed.
+  /// bound must fit a byte (every byte-granularity lattice does: H <= 25).
+  void fill_bounded_u8(std::uint8_t* out, std::size_t n, std::uint64_t bound) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::uint8_t>(fastrange64((*this)(), bound));
+    }
+  }
+
   using state_type = std::array<std::uint64_t, 4>;
 
   /// Generator state, for checkpoint/restore (snapshot layer). Restoring the

@@ -19,7 +19,13 @@
 //   * byte-group probing primitives (16-wide SSE2, 32-wide AVX2) for
 //     flat_hash's SwissTable-style control array;
 //   * contiguous-u64 scans (threshold visit, min+argmin, running suffix max)
-//     for space_saving's counter vectors and the two-stacks window aggregate.
+//     for space_saving's counter vectors and the two-stacks window aggregate;
+//   * prefix-mask kernels (variable-shift netmask + key packing) for the
+//     hierarchical batch path: H-Memento materializes one sampled
+//     generalization per packet, which is a data-parallel AND with a
+//     per-level mask (prefix1d::mask_for_depth) - vectorized with sllv,
+//     whose shift-past-width-yields-zero semantics encode the /0 root mask
+//     for free.
 //
 // Every kernel has a scalar twin here with identical observable behavior
 // (same visit order, same tie-breaks); the differential suites in
@@ -187,6 +193,24 @@ void scan_ge_u64(const std::uint64_t* v, std::size_t n, std::uint64_t bar, Fn&& 
 /// src and dst must not alias. The two-stacks window aggregate's flip.
 inline void suffix_max_u64(const std::uint64_t* src, std::uint64_t* dst, std::size_t n);
 
+// --- prefix masking ----------------------------------------------------------
+// The 1-D prefix encoding is (depth << 32) | (addr & mask_for_depth(depth))
+// with mask_for_depth(d) = d >= 4 ? 0 : ~0u << 8d (prefix1d.hpp). Both
+// kernels below compute the mask arithmetically as (~0 << 8d) so the root
+// case needs no branch: a variable shift by >= the lane width yields zero
+// under sllv, which IS the /0 mask. Depths must be <= 4 (byte-granularity
+// generalizations); the scalar twins are the oracles.
+
+/// out[i] = addrs[i] & mask_for_depth(depths[i]): one masked address per
+/// lane. The 2-D lattice masks src and dst columns independently with this.
+inline void mask_addr_by_depth(const std::uint32_t* addrs, const std::uint8_t* depths,
+                               std::uint32_t* out, std::size_t n);
+
+/// keys[i] = (depths[i] << 32) | (addrs[i] & mask_for_depth(depths[i])):
+/// the full 1-D prefix key (prefix1d::make_key) materialized per lane.
+inline void make_prefix_keys(const std::uint32_t* addrs, const std::uint8_t* depths,
+                             std::uint64_t* keys, std::size_t n);
+
 namespace detail {
 
 template <typename Fn>
@@ -214,6 +238,25 @@ inline void suffix_max_u64_scalar(const std::uint64_t* src, std::uint64_t* dst, 
   for (std::size_t i = n; i-- > 0;) {
     if (src[i] > running) running = src[i];
     dst[i] = running;
+  }
+}
+
+/// mask_for_depth as branch-free arithmetic: (~0 << 8d) truncated to 32
+/// bits, so d == 4 shifts the whole mask out. Matches prefix1d exactly.
+[[nodiscard]] constexpr std::uint32_t depth_mask_scalar(std::uint8_t depth) noexcept {
+  return static_cast<std::uint32_t>(~std::uint64_t{0} << (8u * depth));
+}
+
+inline void mask_addr_by_depth_scalar(const std::uint32_t* addrs, const std::uint8_t* depths,
+                                      std::uint32_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = addrs[i] & depth_mask_scalar(depths[i]);
+}
+
+inline void make_prefix_keys_scalar(const std::uint32_t* addrs, const std::uint8_t* depths,
+                                    std::uint64_t* keys, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = (static_cast<std::uint64_t>(depths[i]) << 32) |
+              (addrs[i] & depth_mask_scalar(depths[i]));
   }
 }
 
@@ -323,6 +366,42 @@ MEMENTO_TARGET_AVX2 inline void suffix_max_u64_avx2(const std::uint64_t* src, st
   }
 }
 
+MEMENTO_TARGET_AVX2 inline void mask_addr_by_depth_avx2(const std::uint32_t* addrs,
+                                                        const std::uint8_t* depths,
+                                                        std::uint32_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i addr = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(addrs + i));
+    const __m128i d8 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(depths + i));
+    const __m256i shift = _mm256_slli_epi32(_mm256_cvtepu8_epi32(d8), 3);  // 8 * depth
+    // sllv: a shift count >= 32 produces 0, which is exactly the /0 mask.
+    const __m256i mask = _mm256_sllv_epi32(_mm256_set1_epi32(-1), shift);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), _mm256_and_si256(addr, mask));
+  }
+  mask_addr_by_depth_scalar(addrs + i, depths + i, out + i, n - i);
+}
+
+MEMENTO_TARGET_AVX2 inline void make_prefix_keys_avx2(const std::uint32_t* addrs,
+                                                      const std::uint8_t* depths,
+                                                      std::uint64_t* keys, std::size_t n) {
+  const __m256i lo32 = _mm256_set1_epi64x(0xFFFFFFFFll);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i addr =
+        _mm256_cvtepu32_epi64(_mm_loadu_si128(reinterpret_cast<const __m128i*>(addrs + i)));
+    std::uint32_t d4 = 0;
+    std::memcpy(&d4, depths + i, 4);
+    const __m256i dep = _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(d4)));
+    const __m256i shift = _mm256_slli_epi64(dep, 3);  // 8 * depth, in [0, 32]
+    // (0xFFFFFFFF << 8d) & 0xFFFFFFFF == mask_for_depth(d) for d in [0, 4].
+    const __m256i mask = _mm256_and_si256(_mm256_sllv_epi64(lo32, shift), lo32);
+    const __m256i key =
+        _mm256_or_si256(_mm256_slli_epi64(dep, 32), _mm256_and_si256(addr, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i), key);
+  }
+  make_prefix_keys_scalar(addrs + i, depths + i, keys + i, n - i);
+}
+
 #endif  // MEMENTO_SIMD_X86
 
 }  // namespace detail
@@ -354,6 +433,28 @@ inline void suffix_max_u64(const std::uint64_t* src, std::uint64_t* dst, std::si
   }
 #endif
   detail::suffix_max_u64_scalar(src, dst, n);
+}
+
+inline void mask_addr_by_depth(const std::uint32_t* addrs, const std::uint8_t* depths,
+                               std::uint32_t* out, std::size_t n) {
+#if MEMENTO_SIMD_X86
+  if (active() >= tier::avx2 && n >= 8) {
+    detail::mask_addr_by_depth_avx2(addrs, depths, out, n);
+    return;
+  }
+#endif
+  detail::mask_addr_by_depth_scalar(addrs, depths, out, n);
+}
+
+inline void make_prefix_keys(const std::uint32_t* addrs, const std::uint8_t* depths,
+                             std::uint64_t* keys, std::size_t n) {
+#if MEMENTO_SIMD_X86
+  if (active() >= tier::avx2 && n >= 4) {
+    detail::make_prefix_keys_avx2(addrs, depths, keys, n);
+    return;
+  }
+#endif
+  detail::make_prefix_keys_scalar(addrs, depths, keys, n);
 }
 
 }  // namespace memento::simd

@@ -27,9 +27,11 @@
 #include <vector>
 
 #include "core/memento.hpp"
+#include "hierarchy/prefix2d.hpp"
 #include "shard/partitioner.hpp"
 #include "shard/rebalance.hpp"
 #include "shard/shard_pool.hpp"
+#include "shard/sharded_h_memento.hpp"
 #include "shard/sharded_memento.hpp"
 #include "sketch/exact_window.hpp"
 #include "snapshot/reshard.hpp"
@@ -457,6 +459,105 @@ TEST(Reshard, RoundTripNtoMtoNIsQueryStable) {
     auto keys = a.monitored_keys();
     for (const auto& k : keys) ASSERT_DOUBLE_EQ(a.query(k), b.query(k));
   }
+}
+
+// --- 2-D hierarchical frontend: the PR 9 acceptance pin ----------------------
+
+TEST(RebalanceHHH, TwoDimElephantPrefixMixRebalancesWithRecallNoWorse) {
+  // Six elephant (src, dst) pairs whose /8 route pairs all hash to one shard:
+  // under static hashing that shard carries ~53% of the traffic (ideal: 25%),
+  // its window covers under half the nominal W, and the elephants' routed
+  // estimates sink below the detection bar. The coverage_rebalancer must
+  // split the elephant buckets (load ratio <= 1.1 on post-rebalance traffic)
+  // and recover the elephants that static hashing drops.
+  using front_t = sharded_h_memento<two_dim_hierarchy>;
+  constexpr std::uint64_t kWindow = 400000;  // 100000 per shard
+  constexpr double kTheta = 0.085;
+  const h_memento_config cfg{kWindow, 2048, 1.0, /*delta=*/0.05, 21};
+  front_t front(cfg, 4);
+
+  // Deterministic elephants: distinct route pairs, distinct buckets, all on
+  // shard 0 - each a separately movable unit, exactly like the flat suite's
+  // elephants_on_shard.
+  std::vector<packet> elephants;
+  {
+    xoshiro256 rng(5);
+    std::vector<std::size_t> buckets;
+    while (elephants.size() < 6) {
+      const std::uint32_t src = static_cast<std::uint32_t>(rng());
+      const packet p{src, static_cast<std::uint32_t>(rng())};
+      if (front.shard_of(p) != 0) continue;
+      const std::size_t b = front.bucket_of(two_dim_hierarchy::full_key(p));
+      if (std::find(buckets.begin(), buckets.end(), b) != buckets.end()) continue;
+      elephants.push_back(p);
+      buckets.push_back(b);
+    }
+  }
+
+  // 10-packet rounds: one appearance per elephant (10% of traffic each,
+  // exactly 40000 per window - above the 8.5% bar by construction) plus 4
+  // uniform mice (fresh random pairs: hash-uniform across buckets, so the
+  // planner's evenly-spread mouse residue is the exactly right model).
+  xoshiro256 bg(99);
+  auto mouse = [&] {
+    const std::uint32_t src = static_cast<std::uint32_t>(bg());
+    return packet{src, static_cast<std::uint32_t>(bg())};
+  };
+  for (std::size_t r = 0; r < 80000; ++r) {  // two full windows of skew
+    for (const auto& e : elephants) front.update(e);
+    for (int j = 0; j < 4; ++j) front.update(mouse());
+  }
+  ASSERT_GT(shard_load_ratio(front), 1.5) << "mix failed to overload shard 0";
+
+  front_t static_front = front;  // the control arm keeps hashing
+  const coverage_rebalancer policy;
+  ASSERT_TRUE(front.rebalance(policy));
+  ASSERT_TRUE(front.partitioner().weighted());
+  std::vector<std::size_t> owners;
+  for (const auto& e : elephants) owners.push_back(front.shard_of(e));
+  std::sort(owners.begin(), owners.end());
+  EXPECT_GT(std::unique(owners.begin(), owners.end()) - owners.begin(), 1)
+      << "rebalance left every elephant on one shard";
+
+  // Phase B: the same mix keeps flowing into both arms (identical packets -
+  // recorded once so both arms see the very same mice).
+  std::vector<packet> phase_b;
+  phase_b.reserve(80000 * 10);
+  for (std::size_t r = 0; r < 80000; ++r) {
+    for (const auto& e : elephants) phase_b.push_back(e);
+    for (int j = 0; j < 4; ++j) phase_b.push_back(mouse());
+  }
+  std::vector<std::uint64_t> before_static, before_rebalanced;
+  for (std::size_t s = 0; s < 4; ++s) {
+    before_static.push_back(static_front.shard(s).stream_length());
+    before_rebalanced.push_back(front.shard(s).stream_length());
+  }
+  static_front.update_batch(phase_b.data(), phase_b.size());
+  front.update_batch(phase_b.data(), phase_b.size());
+
+  // The ISSUE acceptance bar: realized post-rebalance load ratio <= 1.1
+  // while the static arm stays badly imbalanced.
+  EXPECT_GT(shard_load_ratio(static_front, before_static), 1.8);
+  EXPECT_LE(shard_load_ratio(front, before_rebalanced), 1.1);
+  EXPECT_LT(coverage_spread(front), coverage_spread(static_front));
+
+  // Recall over the elephants (true hitters by construction: 10% > theta):
+  // no worse than the static arm, and complete in absolute terms.
+  auto elephants_found = [&](const front_t& f) {
+    const auto out = f.output(kTheta);
+    std::size_t hit = 0;
+    for (const auto& e : elephants) {
+      const auto key = two_dim_hierarchy::full_key(e);
+      if (std::any_of(out.begin(), out.end(), [&](const auto& h) { return h.key == key; })) ++hit;
+    }
+    return hit;
+  };
+  const std::size_t recall_static = elephants_found(static_front);
+  const std::size_t recall_rebalanced = elephants_found(front);
+  EXPECT_GE(recall_rebalanced, recall_static);
+  EXPECT_EQ(recall_rebalanced, elephants.size());
+  EXPECT_LT(recall_static, elephants.size())
+      << "static arm no longer drops elephants; the scenario lost its teeth";
 }
 
 // --- pool: rebalance under concurrent ingest --------------------------------

@@ -22,6 +22,7 @@
 
 #include "core/memento.hpp"
 #include "hierarchy/prefix1d.hpp"
+#include "hierarchy/prefix2d.hpp"
 #include "shard/partitioner.hpp"
 #include "shard/shard_pool.hpp"
 #include "shard/sharded_h_memento.hpp"
@@ -642,6 +643,232 @@ TEST(ShardedHMemento, ScalarAndBatchIngestAgreeAndRootSums) {
     EXPECT_LT(one_by_one.shard(s).window_phase(), one_by_one.shard(s).window_size());
   }
   ASSERT_DOUBLE_EQ(one_by_one.query(root), manual);
+}
+
+TEST(ShardedHMemento, UniformTableRoutesIdenticallyToHashMode) {
+  // TABLE-mode construction with the uniform layout must be observationally
+  // identical to HASH mode: same routing decision for every packet and the
+  // same HHH output after the same stream - the no-op guarantee the
+  // rebalancer's stickiness band relies on.
+  const h_memento_config cfg{8000, 120, 0.5, 1e-3, 31};
+  sharded_h_memento<source_hierarchy> hash_mode(cfg, 3);
+  sharded_h_memento<source_hierarchy> table_mode(cfg, 3, shard_table::uniform(3));
+
+  const auto packets = make_trace(trace_kind::backbone, 30000, 33);
+  for (const auto& p : packets) {
+    ASSERT_EQ(hash_mode.shard_of(p), table_mode.shard_of(p));
+  }
+  hash_mode.update_batch(packets.data(), packets.size());
+  table_mode.update_batch(packets.data(), packets.size());
+  const auto oa = hash_mode.output(0.03);
+  const auto ob = table_mode.output(0.03);
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    ASSERT_EQ(oa[i].key, ob[i].key);
+    ASSERT_DOUBLE_EQ(oa[i].conditioned_frequency, ob[i].conditioned_frequency);
+  }
+
+  // A weighted table actually redirects: move one bucket and some packet
+  // must follow it, with shard_of_key tracking shard_of throughout.
+  shard_table skewed = shard_table::uniform(3);
+  skewed.to_shard[0] = 2;
+  sharded_h_memento<source_hierarchy> weighted(cfg, 3, skewed);
+  bool moved = false;
+  for (const auto& p : packets) {
+    const std::size_t owner = weighted.shard_of(p);
+    moved = moved || owner != hash_mode.shard_of(p);
+    ASSERT_EQ(weighted.shard_of_key(source_hierarchy::key_at(p, 0)), owner);
+  }
+  EXPECT_TRUE(moved) << "a redirected bucket never received a packet";
+}
+
+// --- 2-D hierarchical sharding ----------------------------------------------
+
+TEST(ShardedHMemento2D, RoutablePatternsStayWithTheirPacket) {
+  using front_t = sharded_h_memento<two_dim_hierarchy>;
+  front_t front(h_memento_config{4000, 100, 1.0, 1e-3, 3}, 4);
+  trace_generator gen(trace_kind::datacenter, 9);
+  for (int i = 0; i < 1000; ++i) {
+    const packet p = gen.next();
+    const std::size_t owner = front.shard_of(p);
+    for (std::size_t i2 = 0; i2 < two_dim_hierarchy::hierarchy_size; ++i2) {
+      const prefix2d k = two_dim_hierarchy::key_at(p, i2);
+      // Routable iff BOTH dimensions are at least as specific as the /8
+      // routing pair; those prefixes must land on their packet's shard.
+      const bool expect_routable = k.src_depth <= 3 && k.dst_depth <= 3;
+      ASSERT_EQ(front_t::routable(k), expect_routable);
+      if (expect_routable) {
+        ASSERT_EQ(front.shard_of_key(k), owner) << "pattern " << i2;
+        ASSERT_EQ(front.bucket_of(k),
+                  front.bucket_of(prefix2::make(p.src, 3, p.dst, 3)));
+      } else {
+        ASSERT_EQ(front.bucket_of(k), front_t::npos);
+      }
+    }
+  }
+}
+
+TEST(ShardedHMemento2D, ScalarAndBatchIngestAgreeAndWildcardsSum) {
+  const auto packets = make_trace(trace_kind::datacenter, 30000, 27);
+  const h_memento_config cfg{10000, 400, 1.0 / 4, 1e-3, 8};
+
+  sharded_h_memento<two_dim_hierarchy> one_by_one(cfg, 3);
+  sharded_h_memento<two_dim_hierarchy> batched(cfg, 3);
+  for (const auto& p : packets) one_by_one.update(p);
+  for (std::size_t i = 0; i < packets.size(); i += 777) {
+    batched.update_batch(packets.data() + i, std::min<std::size_t>(777, packets.size() - i));
+  }
+  ASSERT_EQ(one_by_one.stream_length(), batched.stream_length());
+
+  const auto out_a = one_by_one.output(0.05);
+  const auto out_b = batched.output(0.05);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    ASSERT_EQ(out_a[i].key, out_b[i].key);
+    ASSERT_DOUBLE_EQ(out_a[i].conditioned_frequency, out_b[i].conditioned_frequency);
+  }
+
+  // Every wildcard-dimension pattern is answered by summation over shards;
+  // spot-check a (src /16, dst *) query and the root against the manual sum.
+  const packet probe = packets[0];
+  for (const prefix2d k : {prefix2::make(probe.src, 2, probe.dst, 4),
+                           prefix2::make(0, 4, 0, 4)}) {
+    double manual = 0.0;
+    for (std::size_t s = 0; s < one_by_one.num_shards(); ++s) {
+      manual += one_by_one.shard(s).query(k);
+    }
+    ASSERT_DOUBLE_EQ(one_by_one.query(k), manual);
+  }
+}
+
+// --- coverage-scaled detection bars ------------------------------------------
+
+TEST(CoverageScaledDetection, OverloadedShardStopsFlickeringFlatFrontend) {
+  // Construct the drift scenario of docs/ACCURACY.md: shard 0 carries ~44%
+  // of the traffic (ideal share: 25%), so its window spans ~16/7 fewer
+  // global packets than the nominal W and a TRUE heavy hitter routed there
+  // sits visibly below the global bar - the flicker. The coverage-scaled
+  // variant must recover it without inventing hitters elsewhere.
+  const std::size_t kShards = 4;
+  constexpr std::uint64_t kWindow = 16000;
+  sharded front(shard_config{kWindow, 1024, 1.0, 5, kShards});
+
+  std::vector<std::uint64_t> hot_mice, cold_mice;
+  std::uint64_t id = 1;
+  while (hot_mice.size() < 2000) {
+    if (front.shard_of(id) == 0) hot_mice.push_back(id);
+    ++id;
+  }
+  while (cold_mice.size() < 3000) {
+    if (front.shard_of(id) != 0) cold_mice.push_back(id);
+    ++id;
+  }
+  std::uint64_t borderline = id;
+  while (front.shard_of(borderline) != 0) ++borderline;
+
+  // 16-packet rounds: 6 hot mice + 9 cold mice + 1 borderline; shard 0's
+  // realized share is 7/16. The borderline flow is 1/16 of global traffic.
+  exact_window<std::uint64_t> oracle(kWindow);
+  std::size_t hot_i = 0, cold_i = 0;
+  for (int round = 0; round < 4000; ++round) {
+    for (int j = 0; j < 6; ++j) {
+      const auto k = hot_mice[hot_i++ % hot_mice.size()];
+      front.update(k);
+      oracle.add(k);
+    }
+    for (int j = 0; j < 9; ++j) {
+      const auto k = cold_mice[cold_i++ % cold_mice.size()];
+      front.update(k);
+      oracle.add(k);
+    }
+    front.update(borderline);
+    oracle.add(borderline);
+  }
+
+  const double theta = 0.05;
+  const double bar = theta * static_cast<double>(kWindow);
+  ASSERT_GE(static_cast<double>(oracle.query(borderline)), bar)
+      << "construction broke: the borderline flow must be a true hitter";
+  ASSERT_GT(detection::coverage_scale(static_cast<double>(kWindow), front.window_coverage(0)),
+            1.3)
+      << "construction broke: shard 0 must be clearly overloaded";
+
+  auto contains = [](const auto& set, std::uint64_t key) {
+    return std::any_of(set.begin(), set.end(), [&](const auto& hh) { return hh.key == key; });
+  };
+  const auto plain = front.heavy_hitters(theta);
+  const auto scaled = front.heavy_hitters_coverage_scaled(theta);
+  EXPECT_FALSE(contains(plain, borderline)) << "flicker scenario no longer reproduces";
+  EXPECT_TRUE(contains(scaled, borderline));
+
+  // No invented hitters: everything the scaled variant reports must carry
+  // real window mass near the bar (the clamp bounds how far a bar can sink).
+  for (const auto& hh : scaled) {
+    EXPECT_GE(static_cast<double>(oracle.query(hh.key)),
+              bar / (2.0 * detection::kCoverageScaleClamp))
+        << "key " << hh.key;
+  }
+}
+
+TEST(CoverageScaledDetection, OverloadedShardStopsFlickeringHHHFrontend) {
+  // The hierarchical version of the same drift scenario: a borderline /32
+  // whose /8 routes to the overloaded shard is missed by output() but
+  // recovered by output_coverage_scaled(). Geometry is sized so that
+  // theta * W clearly dominates the 2Z*sqrt(V*W) sampling compensation.
+  using front_t = sharded_h_memento<source_hierarchy>;
+  constexpr std::uint64_t kWindow = 200000;  // 50000 per shard
+  const h_memento_config cfg{kWindow, 2048, 1.0, 1e-3, 11};
+  front_t front(cfg, 4);
+
+  // A hot /8 block and the borderline address inside it: same route key,
+  // same shard. Mice vary the low 24 bits, so only the shared /8 ancestor
+  // aggregates them.
+  const std::uint32_t hot_octet = [&] {
+    for (std::uint32_t o = 1;; ++o) {
+      const packet probe{o << 24, 0};
+      if (front.shard_of(probe) == 0) return o;
+    }
+  }();
+  const std::uint32_t borderline_src = (hot_octet << 24) | 0x00010203u;
+  xoshiro256 rng(77);
+
+  // 10-packet rounds: 1 borderline + 4 hot mice (same /8) + 5 cold mice
+  // (other shards): shard 0's share is 1/2, the borderline flow 1/10.
+  exact_window<std::uint64_t> oracle(kWindow);
+  std::vector<packet> cold;
+  {
+    trace_generator gen(trace_kind::backbone, 13);
+    while (cold.size() < 50000) {
+      const packet p = gen.next();
+      if (front.shard_of(p) != 0) cold.push_back(p);
+    }
+  }
+  std::size_t cold_i = 0;
+  auto feed = [&](const packet& p) {
+    front.update(p);
+    oracle.add(source_hierarchy::full_key(p));
+  };
+  for (int round = 0; round < 80000; ++round) {
+    feed(packet{borderline_src, 0});
+    for (int j = 0; j < 4; ++j) {
+      feed(packet{(hot_octet << 24) | static_cast<std::uint32_t>(rng.bounded(1 << 24)), 0});
+    }
+    for (int j = 0; j < 5; ++j) feed(cold[cold_i++ % cold.size()]);
+  }
+
+  const double theta = 0.08;
+  const double bar = theta * static_cast<double>(kWindow);
+  const auto key = prefix1d::make_key(borderline_src, 0);
+  ASSERT_GE(static_cast<double>(oracle.query(key)), 1.2 * bar)
+      << "construction broke: the borderline /32 must be a clear true hitter";
+  ASSERT_GT(detection::coverage_scale(static_cast<double>(kWindow), front.window_coverage(0)),
+            1.5);
+
+  auto contains = [&](const auto& out) {
+    return std::any_of(out.begin(), out.end(), [&](const auto& e) { return e.key == key; });
+  };
+  EXPECT_FALSE(contains(front.output(theta))) << "flicker scenario no longer reproduces";
+  EXPECT_TRUE(contains(front.output_coverage_scaled(theta)));
 }
 
 TEST(ShardedHMemento, FindsTheHeavyPrefixesASingleInstanceFinds) {

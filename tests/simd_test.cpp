@@ -13,6 +13,9 @@
 #include <deque>
 #include <vector>
 
+#include "hierarchy/prefix1d.hpp"
+#include "hierarchy/prefix2d.hpp"
+#include "trace/packet.hpp"
 #include "util/random.hpp"
 #include "util/simd.hpp"
 #include "util/sliding_window_agg.hpp"
@@ -147,6 +150,88 @@ TEST(SimdScan, SuffixMaxMatchesScalarOnEveryTier) {
       }
     }
   }
+}
+
+// --- prefix masking kernels: the HHH batch hot path ---------------------------
+
+TEST(SimdPrefix, DepthMaskMatchesPrefix1dIncludingFullGeneralization) {
+  for (std::uint8_t d = 0; d <= 4; ++d) {
+    EXPECT_EQ(simd::detail::depth_mask_scalar(d), prefix1d::mask_for_depth(d)) << "depth " << +d;
+  }
+  EXPECT_EQ(simd::detail::depth_mask_scalar(4), 0u) << "/0 must mask every bit";
+}
+
+TEST(SimdPrefix, MaskAddrByDepthMatchesScalarOracleOnEveryTier) {
+  xoshiro256 rng(44);
+  // Sizes straddle the AVX2 8-lane width (tails, exact multiples, n < 8
+  // which the dispatcher routes straight to scalar).
+  for (const std::size_t n : {0ul, 1ul, 5ul, 7ul, 8ul, 9ul, 31ul, 32ul, 100ul}) {
+    std::vector<std::uint32_t> addrs(n);
+    std::vector<std::uint8_t> depths(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      addrs[i] = static_cast<std::uint32_t>(rng());
+      depths[i] = static_cast<std::uint8_t>(rng() % 5);  // 0..4 incl. full mask-out
+    }
+    std::vector<std::uint32_t> expect(n), got(n);
+    simd::detail::mask_addr_by_depth_scalar(addrs.data(), depths.data(), expect.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(expect[i], addrs[i] & prefix1d::mask_for_depth(depths[i]))
+          << "scalar twin diverged from prefix1d at i=" << i;
+    }
+    for (const simd::tier t : host_tiers()) {
+      simd::scoped_tier guard(t);
+      std::fill(got.begin(), got.end(), 0xDEADBEEFu);
+      simd::mask_addr_by_depth(addrs.data(), depths.data(), got.data(), n);
+      EXPECT_EQ(got, expect) << "tier " << simd::tier_name(t) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdPrefix, MakePrefixKeysMatchesMakeKeyOnEveryTier) {
+  xoshiro256 rng(55);
+  for (const std::size_t n : {1ul, 3ul, 4ul, 6ul, 16ul, 33ul}) {
+    std::vector<std::uint32_t> addrs(n);
+    std::vector<std::uint8_t> depths(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      addrs[i] = static_cast<std::uint32_t>(rng());
+      depths[i] = static_cast<std::uint8_t>(rng() % 5);
+    }
+    std::vector<std::uint64_t> expect(n), got(n);
+    for (std::size_t i = 0; i < n; ++i) expect[i] = prefix1d::make_key(addrs[i], depths[i]);
+    for (const simd::tier t : host_tiers()) {
+      simd::scoped_tier guard(t);
+      std::fill(got.begin(), got.end(), ~0ull);
+      simd::make_prefix_keys(addrs.data(), depths.data(), got.data(), n);
+      EXPECT_EQ(got, expect) << "tier " << simd::tier_name(t) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdPrefix, MaterializeKeysMatchesKeyAtOracleForBothHierarchies) {
+  xoshiro256 rng(66);
+  constexpr std::size_t kN = 101;  // odd, spans several 32-key blocks
+  std::vector<packet> packets(kN);
+  std::vector<std::uint32_t> idx(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    packets[i] = {static_cast<std::uint32_t>(rng()), static_cast<std::uint32_t>(rng())};
+    idx[i] = static_cast<std::uint32_t>(rng() % kN);  // gathers, repeats allowed
+  }
+  auto check = [&](auto tag) {
+    using hierarchy = decltype(tag);
+    std::vector<std::uint8_t> levels(kN);
+    for (auto& l : levels) l = static_cast<std::uint8_t>(rng() % hierarchy::hierarchy_size);
+    std::vector<typename hierarchy::key_type> out(kN);
+    for (const simd::tier t : host_tiers()) {
+      simd::scoped_tier guard(t);
+      hierarchy::materialize_keys(packets.data(), idx.data(), levels.data(), out.data(), kN);
+      for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(out[i], hierarchy::key_at(packets[idx[i]], levels[i]))
+            << "tier " << simd::tier_name(t) << " i=" << i;
+      }
+    }
+  };
+  check(source_hierarchy{});
+  check(two_dim_hierarchy{});
 }
 
 // --- two-stacks sliding-window aggregate -------------------------------------

@@ -313,6 +313,70 @@ TEST(SnapshotSharded, RestoreThenContinueIsBitIdentical) {
   }
 }
 
+// --- sharded HHH round trip --------------------------------------------------
+
+TEST(SnapshotShardedHMemento, RestoreThenContinueIsBitIdentical) {
+  // Weighted (TABLE-mode) routing: migrate two buckets so the snapshot must
+  // carry a non-uniform table, then round-trip through both the buffered v1
+  // and the streamed v2 framing. Continuation after restore must be
+  // byte-identical to the original continuing through the same stream -
+  // routing, per-shard sampler/PRNG timelines and window state included.
+  const h_memento_config cfg{20000, 240, 0.5, 1e-3, 23};
+  shard_table table = shard_table::uniform(3);
+  table.to_shard[0] = 2;
+  table.to_shard[77] = 0;
+  sharded_h_memento<source_hierarchy> a(cfg, 3, table);
+  const auto ps = trace_packets(60000, 11);
+  a.update_batch(ps.data(), 40000);
+
+  for (const bool streamed : {false, true}) {
+    SCOPED_TRACE(streamed ? "streamed v2" : "buffered v1");
+    const auto buf = streamed ? snapshot::save_streamed(a) : snapshot::save(a);
+    ASSERT_FALSE(buf.empty());
+    auto b = snapshot::restore<sharded_h_memento<source_hierarchy>>(buf);
+    ASSERT_TRUE(b.has_value());
+    ASSERT_EQ(b->num_shards(), a.num_shards());
+
+    // Routing is carried state here (the table is not uniform): every
+    // packet must land on the same shard after the round trip.
+    trace_generator probe(trace_kind::backbone, 99);
+    for (int i = 0; i < 2000; ++i) {
+      const packet p = probe.next();
+      ASSERT_EQ(a.shard_of(p), b->shard_of(p));
+    }
+
+    sharded_h_memento<source_hierarchy> cont = a;
+    cont.update_batch(ps.data() + 40000, 20000);
+    b->update_batch(ps.data() + 40000, 20000);
+    EXPECT_EQ(snapshot::save(cont), snapshot::save(*b));
+    const auto oa = cont.output(0.02);
+    const auto ob = b->output(0.02);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(oa[i].key, ob[i].key);
+      EXPECT_DOUBLE_EQ(oa[i].conditioned_frequency, ob[i].conditioned_frequency);
+    }
+  }
+}
+
+TEST(SnapshotShardedHMemento, TwoDimFrontendRoundTrips) {
+  // The 2-D lattice exercises the prefix2d key codec through every layer of
+  // the section stack (counters, overflow table, block ring). Buffered
+  // framing only: prefix2d exceeds the streamed formats' 64-bit key column
+  // (see wire::codec<prefix2d>), so 2-D deployments checkpoint buffered.
+  sharded_h_memento<two_dim_hierarchy> a(h_memento_config{8000, 300, 0.5, 1e-3, 29}, 3);
+  const auto ps = trace_packets(30000, 17);
+  a.update_batch(ps.data(), 20000);
+
+  const auto buf = snapshot::save(a);
+  auto b = snapshot::restore<sharded_h_memento<two_dim_hierarchy>>(buf);
+  ASSERT_TRUE(b.has_value());
+  sharded_h_memento<two_dim_hierarchy> cont = a;
+  cont.update_batch(ps.data() + 20000, 10000);
+  b->update_batch(ps.data() + 20000, 10000);
+  EXPECT_EQ(snapshot::save(cont), snapshot::save(*b));
+}
+
 // --- mergeable summaries ----------------------------------------------------
 
 TEST(SnapshotSummary, MergedShardSummariesEqualShardedFrontendAnswers) {
@@ -608,6 +672,26 @@ TEST(SnapshotFuzz, ShardedSurvivesTruncationAndCorruption) {
   const auto ids = skewed_ids(12000, 1.0, 57);
   s.update_batch(ids.data(), ids.size());
   fuzz_snapshot<sharded>(snapshot::save(s));
+}
+
+TEST(SnapshotFuzz, ShardedHMementoSurvivesTruncationAndCorruption) {
+  // Weighted table so the fuzz walks the bucket-table entries too; small
+  // geometry keeps the byte image (and the per-prefix truncation sweep)
+  // tractable under ASan.
+  shard_table table = shard_table::uniform(3);
+  table.to_shard[5] = 1;
+  sharded_h_memento<source_hierarchy> s(h_memento_config{2000, 48, 0.5, 1e-3, 7}, 3, table);
+  const auto ps = trace_packets(8000, 63);
+  s.update_batch(ps.data(), ps.size());
+  fuzz_snapshot<sharded_h_memento<source_hierarchy>>(snapshot::save(s));
+  fuzz_snapshot<sharded_h_memento<source_hierarchy>>(snapshot::save_streamed(s));
+}
+
+TEST(SnapshotFuzz, TwoDimShardedHMementoSurvivesTruncationAndCorruption) {
+  sharded_h_memento<two_dim_hierarchy> s(h_memento_config{1500, 60, 0.5, 1e-3, 9}, 2);
+  const auto ps = trace_packets(6000, 65);
+  s.update_batch(ps.data(), ps.size());
+  fuzz_snapshot<sharded_h_memento<two_dim_hierarchy>>(snapshot::save(s));
 }
 
 TEST(SnapshotFuzz, SummarySurvivesTruncationAndCorruption) {
