@@ -16,14 +16,32 @@
 //     which is the configuration the CI soak-smoke asserts on: block must
 //     finish with zero drops.
 //
+// A third drive mode exercises the autonomic control plane:
+//   * --controller: push mode with the producer steering every burst by the
+//     LIVE table (pipe.process) and a cooperative controller_service ticking
+//     between bursts. Mid-run the producer shifts the traffic adversarially
+//     - half of every burst becomes eight elephant flows that all hash to
+//     core 0 - and the controller must notice, rebalance on its own, and
+//     clear the alarm; the report records the automatic decisions and the
+//     wall-clock time-to-recover after the shift. `--json` then writes a
+//     {"controller": ...} document summarize.py folds with --controller,
+//     and the CI bench-smoke asserts >= 1 automatic rebalance with zero
+//     drops under block backpressure.
+//
 // `--json PATH` writes the {"appliance": ...} document summarize.py folds
 // into BENCH_fig5.json with --appliance. Bench preset: --duration 60.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "control/checkpoint.hpp"
+#include "control/clock.hpp"
+#include "control/controller.hpp"
+#include "control/hosts.hpp"
+#include "control/service.hpp"
 #include "pipeline/pipeline.hpp"
 #include "trace/trace_generator.hpp"
 #include "trace/trace_io.hpp"
@@ -47,6 +65,8 @@ struct options {
   std::size_t ring = 1u << 14;
   std::uint64_t detect_stride = 1u << 16;  ///< per-core packets between sweeps
   bool enforce = false;
+  bool controller = false;  ///< autonomic control-plane soak (implies push)
+  double shift_s = 0.0;     ///< skew-shift time; 0 = duration / 3
   std::string json_path;
 };
 
@@ -56,7 +76,8 @@ struct options {
       "usage: %s [--cores N] [--duration SECONDS] [--trace backbone|datacenter|edge|FILE]\n"
       "          [--packets N] [--window W] [--counters C] [--seed S]\n"
       "          [--mode pull|push] [--policy block|drop] [--burst N] [--ring N]\n"
-      "          [--detect-stride N (0 = detection off)] [--enforce] [--json PATH]\n",
+      "          [--detect-stride N (0 = detection off)] [--enforce] [--json PATH]\n"
+      "          [--controller] [--shift SECONDS (skew-shift time; 0 = duration/3)]\n",
       argv0);
   std::exit(2);
 }
@@ -102,6 +123,10 @@ options parse(int argc, char** argv) {
       opt.detect_stride = std::strtoull(need(i), nullptr, 10);
     } else if (!std::strcmp(a, "--enforce")) {
       opt.enforce = true;
+    } else if (!std::strcmp(a, "--controller")) {
+      opt.controller = true;
+    } else if (!std::strcmp(a, "--shift")) {
+      opt.shift_s = std::strtod(need(i), nullptr);
     } else if (!std::strcmp(a, "--json")) {
       opt.json_path = need(i);
     } else {
@@ -152,6 +177,173 @@ double run_push(pipeline<>& pipe, std::vector<packet_ring>& sources, const optio
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   pipe.stop();
   return elapsed;
+}
+
+/// Eight flows that all hash to core 0 in DISTINCT partitioner buckets: the
+/// adversarial skew unit. Each is a separately movable unit for the planner,
+/// and together they pile half the post-shift traffic onto one core.
+std::vector<packet> pick_elephants(const pipeline<>& pipe, std::size_t n) {
+  std::vector<packet> es;
+  std::vector<std::size_t> buckets;
+  const auto& part = pipe.frontend().partitioner();
+  for (std::uint32_t src = 0xE1E00000u; es.size() < n; ++src) {
+    const packet p{src, 0x0A0A0A0Au};
+    if (pipe.core_of(p) != 0) continue;
+    const std::size_t b = part.bucket_of(flow_id(p));
+    if (std::find(buckets.begin(), buckets.end(), b) != buckets.end()) continue;
+    es.push_back(p);
+    buckets.push_back(b);
+  }
+  return es;
+}
+
+struct controller_outcome {
+  double elapsed_s = 0.0;
+  double shift_s = 0.0;    ///< realized skew-shift time since start
+  double recover_s = -1.0; ///< shift -> alarm_cleared; -1 = never recovered
+  std::uint64_t start_ns = 0;
+  std::uint64_t laps = 0;
+  controller_config config;
+  std::vector<control_record> decisions;
+};
+
+/// The autonomic soak: producer steers every burst by the live table
+/// (process() picks up migrated bucket tables immediately), the cooperative
+/// controller_service ticks between bursts, and at `shift` the traffic turns
+/// adversarial. All recovery is the controller's own doing - this loop never
+/// calls rebalance().
+controller_outcome run_controller(pipeline<>& pipe, const std::vector<packet>& trace,
+                                  const options& opt) {
+  checkpoint_store store;
+  pipeline_host<> host(pipe, store);
+  controller_outcome out;
+  out.config.sample_interval_ns = 100'000'000;
+  out.config.min_segment_packets = 4096;
+  out.config.load_ratio_high = 1.5;
+  out.config.load_ratio_clear = 1.1;
+  out.config.sustain_ticks = 2;
+  out.config.rebalance_cooldown_ns = 1'000'000'000;
+  out.config.checkpoint_interval_ns = 2'000'000'000;
+  steady_clock_face clk;
+  controller_service<pipeline_host<>> service(host, out.config, clk);  // cooperative: no start()
+
+  const auto elephants = pick_elephants(pipe, 8);
+  const double shift_after = opt.shift_s > 0.0 ? opt.shift_s : opt.duration_s / 3.0;
+
+  pipe.start();
+  out.start_ns = clk.now_ns();
+  const std::uint64_t deadline_ns =
+      out.start_ns + static_cast<std::uint64_t>(opt.duration_s * 1e9);
+  const std::uint64_t shift_ns = out.start_ns + static_cast<std::uint64_t>(shift_after * 1e9);
+  std::vector<packet> burst;
+  burst.reserve(opt.burst);
+  std::size_t pos = 0, e = 0;
+  bool shifted = false;
+  std::uint64_t shifted_at = 0;
+  for (std::uint64_t now = clk.now_ns(); now < deadline_ns; now = clk.now_ns()) {
+    if (!shifted && now >= shift_ns) {
+      shifted = true;
+      shifted_at = now;
+    }
+    burst.clear();
+    for (std::size_t i = 0; i < opt.burst; ++i) {
+      if (shifted && (i & 1u) == 0) {
+        burst.push_back(elephants[e++ % elephants.size()]);
+      } else {
+        burst.push_back(trace[pos]);
+        if (++pos == trace.size()) {
+          pos = 0;
+          ++out.laps;
+        }
+      }
+    }
+    pipe.process(burst.data(), burst.size());
+    if (service.due()) service.tick();
+  }
+  pipe.drain();
+  out.elapsed_s = static_cast<double>(clk.now_ns() - out.start_ns) / 1e9;
+  pipe.stop();
+
+  out.shift_s = shifted ? static_cast<double>(shifted_at - out.start_ns) / 1e9 : -1.0;
+  out.decisions = service.events();
+  out.decisions.erase(std::remove_if(out.decisions.begin(), out.decisions.end(),
+                                     [](const control_record& r) {
+                                       return r.kind == control_event::sample;
+                                     }),
+                      out.decisions.end());
+  for (const auto& r : out.decisions) {
+    if (shifted && r.kind == control_event::alarm_cleared && r.at_ns > shifted_at) {
+      out.recover_s = static_cast<double>(r.at_ns - shifted_at) / 1e9;
+      break;
+    }
+  }
+  return out;
+}
+
+void emit_controller_json(const pipeline<>& pipe, const controller_outcome& out,
+                          const options& opt) {
+  FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "memento_appliance: cannot write %s\n", opt.json_path.c_str());
+    std::exit(1);
+  }
+  const auto count = [&](control_event kind) {
+    std::size_t n = 0;
+    for (const auto& r : out.decisions) n += r.kind == kind ? 1 : 0;
+    return n;
+  };
+  const auto total = pipe.report();
+#ifdef NDEBUG
+  const char* build = "release";
+#else
+  const char* build = "debug";
+#endif
+  std::fprintf(f, "{\n  \"memento_build_type\": \"%s\",\n  \"controller\": {\n", build);
+  std::fprintf(f,
+               "    \"config\": {\"cores\": %zu, \"policy\": \"%s\", \"trace\": \"%s\", "
+               "\"window\": %llu, \"counters\": %zu, \"burst\": %zu, \"duration_s\": %g, "
+               "\"sample_interval_ms\": %g, \"load_ratio_high\": %g, \"load_ratio_clear\": %g, "
+               "\"sustain_ticks\": %u, \"rebalance_cooldown_s\": %g, "
+               "\"checkpoint_interval_s\": %g},\n",
+               opt.cores, backpressure_policy_name(opt.policy), opt.trace.c_str(),
+               static_cast<unsigned long long>(opt.window), opt.counters, opt.burst,
+               opt.duration_s, static_cast<double>(out.config.sample_interval_ns) / 1e6,
+               out.config.load_ratio_high, out.config.load_ratio_clear,
+               out.config.sustain_ticks,
+               static_cast<double>(out.config.rebalance_cooldown_ns) / 1e9,
+               static_cast<double>(out.config.checkpoint_interval_ns) / 1e9);
+  std::fprintf(f,
+               "    \"elapsed_s\": %.3f,\n    \"skew_shift_s\": %.3f,\n"
+               "    \"recover_s\": %.3f,\n",
+               out.elapsed_s, out.shift_s, out.recover_s);
+  std::fprintf(f,
+               "    \"total\": {\"packets\": %llu, \"mpps\": %.3f, \"drops\": %llu, "
+               "\"trace_laps\": %llu},\n",
+               static_cast<unsigned long long>(total.ingested),
+               static_cast<double>(total.ingested) / out.elapsed_s / 1e6,
+               static_cast<unsigned long long>(total.drops),
+               static_cast<unsigned long long>(out.laps));
+  std::fprintf(f,
+               "    \"decisions\": {\"alarms_raised\": %zu, \"alarms_cleared\": %zu, "
+               "\"rebalances\": %zu, \"rebalance_noops\": %zu, \"rebalances_suppressed\": %zu, "
+               "\"checkpoints\": %zu, \"checkpoint_failures\": %zu},\n",
+               count(control_event::alarm_raised), count(control_event::alarm_cleared),
+               count(control_event::rebalance_applied), count(control_event::rebalance_noop),
+               count(control_event::rebalance_suppressed),
+               count(control_event::checkpoint_taken), count(control_event::checkpoint_failed));
+  std::fprintf(f, "    \"events\": [\n");
+  for (std::size_t i = 0; i < out.decisions.size(); ++i) {
+    const auto& r = out.decisions[i];
+    std::fprintf(f,
+                 "      {\"t_ms\": %.1f, \"kind\": \"%s\", \"load_ratio\": %.4f, "
+                 "\"coverage_spread\": %.4f, \"shards\": %zu, \"detail\": %llu}%s\n",
+                 static_cast<double>(r.at_ns - out.start_ns) / 1e6, control_event_name(r.kind),
+                 r.load_ratio, r.coverage_spread, r.shards,
+                 static_cast<unsigned long long>(r.detail),
+                 i + 1 < out.decisions.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fclose(f);
 }
 
 void emit_json(const pipeline<>& pipe, const std::vector<packet_ring>& sources,
@@ -228,6 +420,33 @@ int main(int argc, char** argv) {
   std::printf("memento_appliance: loading trace '%s' (%zu packets requested)...\n",
               opt.trace.c_str(), opt.packets);
   const std::vector<packet> trace = load_trace(opt);
+
+  if (opt.controller) {
+    std::printf("memento_appliance: %zu cores, controller soak, policy=%s, %.0fs "
+                "(skew shift at %.1fs)...\n",
+                opt.cores, backpressure_policy_name(opt.policy), opt.duration_s,
+                opt.shift_s > 0.0 ? opt.shift_s : opt.duration_s / 3.0);
+    const controller_outcome out = run_controller(pipe, trace, opt);
+    const auto total = pipe.report();
+    std::printf(
+        "controller soak: %.3f Mpps over %.1fs (%llu packets, %llu dropped, %llu laps)\n",
+        static_cast<double>(total.ingested) / out.elapsed_s / 1e6, out.elapsed_s,
+        static_cast<unsigned long long>(total.ingested),
+        static_cast<unsigned long long>(total.drops),
+        static_cast<unsigned long long>(out.laps));
+    std::size_t rebalances = 0;
+    for (const auto& r : out.decisions) {
+      rebalances += r.kind == control_event::rebalance_applied ? 1 : 0;
+      std::printf("  t=%8.1fms %-22s ratio=%.3f spread=%.3f shards=%zu detail=%llu\n",
+                  static_cast<double>(r.at_ns - out.start_ns) / 1e6,
+                  control_event_name(r.kind), r.load_ratio, r.coverage_spread, r.shards,
+                  static_cast<unsigned long long>(r.detail));
+    }
+    std::printf("skew shift at %.3fs; %zu automatic rebalance(s); time-to-recover %.3fs\n",
+                out.shift_s, rebalances, out.recover_s);
+    if (!opt.json_path.empty()) emit_controller_json(pipe, out, opt);
+    return 0;
+  }
 
   // RSS: steer once, up front, with the pipeline's own partitioner - core
   // c's slice is exactly shard c's keyspace, so replay is differentially

@@ -16,17 +16,23 @@ summary control channels) into a `netwide_bytes` section of the artifact,
 plus its delta-vs-full summary-channel comparison as `summary_delta`.
 `--snapshot` folds a snapshot_speed --json report into the `snapshot`
 section (save/restore MB/s, compression ratio, bounded-memory evidence).
-`--hhh` folds a fig6_hhh_speed raw Google Benchmark JSON into the
-`hhh_speed` section - the same entries/pairs/scaling reduction as the main
-input, so the batched-over-scalar HHH speedup and the prefix-sharded
-scaling curve ride the artifact next to the flat numbers. `--hhh-error`
+`--hhh` folds an HHH raw Google Benchmark JSON (fig6_hhh_speed or
+fig7_vs_rhhh) into the `hhh_speed` section - the same entries/pairs/scaling
+reduction as the main input, so the batched-over-scalar HHH speedup and the
+prefix-sharded scaling curve ride the artifact next to the flat numbers.
+Folds MERGE by figure prefix (`family.split('/', 1)[0]`): folding a fig7
+run replaces prior fig7 rows but leaves the fig6 rows standing, so the two
+figures accumulate in one section across runs. `--hhh-error`
 folds a fig8_hhh_error --json report into the `hhh_error` section (RMSE per
 algorithm with the batch-differential row, HHH recall vs the exact set).
 `--rebalance` folds a `fig5/hh_speed_rebalanced` measurement (raw Google
 Benchmark JSON) into the `rebalance` section without touching the other
 sections; the same section is also produced directly when the main input
 contains `_rebalanced` rows. `--appliance` folds a memento_appliance --json
-soak report into the `appliance` section the same way.
+soak report into the `appliance` section the same way. `--controller` folds
+a memento_appliance --controller --json report into the `controller`
+section (automatic rebalances, time-to-recover after the skew shift, drop
+accounting under block backpressure).
 
 The reducer keeps one record per benchmark config (name, label, Mpps) and,
 whenever a family has both a scalar and a `_batch` variant with the same
@@ -199,6 +205,33 @@ def reduce_benchmarks(raw: dict) -> dict:
     return summary
 
 
+def merge_hhh(existing: dict, incoming: dict) -> dict:
+    """Merge an --hhh fold into the standing hhh_speed section by figure.
+
+    Rows are owned per figure prefix (the `figN` before the first slash):
+    the incoming run replaces every row of the figures it measured and
+    leaves the other figures' rows untouched, so fig6 and fig7 folds
+    accumulate in one section instead of clobbering each other.
+    """
+    figures = {e["family"].split("/", 1)[0] for e in incoming["entries"]}
+
+    def survives(row: dict, key: str) -> bool:
+        return row[key].split("/", 1)[0] not in figures
+
+    merged = {
+        "entries": [e for e in existing.get("entries", []) if survives(e, "family")]
+        + incoming["entries"],
+        "pairs": [p for p in existing.get("pairs", []) if survives(p, "config")]
+        + incoming["pairs"],
+        "scaling": [s for s in existing.get("scaling", []) if survives(s, "config")]
+        + incoming["scaling"],
+    }
+    merged["entries"].sort(key=lambda e: (e["family"], e["args"]))
+    merged["pairs"].sort(key=lambda p: p["config"])
+    merged["scaling"].sort(key=lambda s: s["config"])
+    return merged
+
+
 def check_provenance(summary: dict, allow_debug: bool) -> bool:
     """Refuse debug-codegen inputs; warn loudly when provenance is murky.
 
@@ -314,6 +347,11 @@ def main() -> int:
         help="fig6_hhh_speed raw Google Benchmark JSON to fold in as the `hhh_speed` section",
     )
     ap.add_argument(
+        "--controller",
+        default=None,
+        help="memento_appliance --controller --json output to fold in as the `controller` section",
+    )
+    ap.add_argument(
         "--hhh-error",
         default=None,
         help="fig8_hhh_error --json output to fold in as the `hhh_error` section",
@@ -371,11 +409,23 @@ def main() -> int:
         doc = {"memento_build_type": reduced["host"].get("memento_build_type")}
         if not check_fold_provenance(summary, "hhh_speed", doc, args.allow_debug):
             return 1
-        summary["hhh_speed"] = {
-            "entries": reduced["entries"],
-            "pairs": reduced["pairs"],
-            "scaling": reduced["scaling"],
-        }
+        summary["hhh_speed"] = merge_hhh(
+            summary.get("hhh_speed") or {},
+            {
+                "entries": reduced["entries"],
+                "pairs": reduced["pairs"],
+                "scaling": reduced["scaling"],
+            },
+        )
+    if args.controller:
+        with open(args.controller, encoding="utf-8") as f:
+            doc = json.load(f)
+        if "controller" not in doc:
+            sys.stderr.write("summarize.py: --controller input has no controller section\n")
+            return 1
+        if not check_fold_provenance(summary, "controller", doc, args.allow_debug):
+            return 1
+        summary["controller"] = doc["controller"]
     if args.hhh_error:
         with open(args.hhh_error, encoding="utf-8") as f:
             doc = json.load(f)

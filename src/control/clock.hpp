@@ -1,0 +1,58 @@
+// Injected time for the control plane.
+//
+// Every decision the autonomic controller makes - hysteresis sustain counts,
+// rebalance cooldowns, scale watermark windows, checkpoint cadence - is a
+// function of "now". Reading std::chrono directly would make each of those
+// decisions untestable except by sleeping, so the controller takes its time
+// through this one-method interface: production wires in steady_clock_face
+// (monotonic, immune to wall-clock steps), tests wire in fake_clock and
+// advance it by hand, replaying hours of control history in microseconds.
+// The same injection point is what makes the event log deterministic enough
+// to pin exact trigger/suppress sequences in tests/controller_test.cpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace memento {
+
+/// Monotonic nanosecond clock interface. Implementations must be safe to
+/// read from any thread (the monitor thread polls while tests advance).
+class clock_face {
+ public:
+  virtual ~clock_face() = default;
+  [[nodiscard]] virtual std::uint64_t now_ns() const noexcept = 0;
+};
+
+/// Production clock: std::chrono::steady_clock, as nanoseconds since an
+/// arbitrary (process-local) epoch.
+class steady_clock_face final : public clock_face {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const noexcept override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Deterministic test clock: starts at 0 and moves only when told to. The
+/// counter is atomic so a running controller_service thread may poll now_ns()
+/// while the test thread advances it - the only cross-thread traffic a fake
+/// timeline needs.
+class fake_clock final : public clock_face {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const noexcept override {
+    return t_.load(std::memory_order_acquire);
+  }
+
+  void advance_ns(std::uint64_t ns) noexcept { t_.fetch_add(ns, std::memory_order_acq_rel); }
+  void advance_ms(std::uint64_t ms) noexcept { advance_ns(ms * 1'000'000ull); }
+  void set_ns(std::uint64_t ns) noexcept { t_.store(ns, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint64_t> t_{0};
+};
+
+}  // namespace memento

@@ -1,0 +1,332 @@
+// The autonomic controller: the decision brain that closes the ROADMAP's
+// "sketch that runs itself" loop.
+//
+// PR 5 built the mechanism (coverage_rebalancer + weighted reshard), PR 8
+// the transport (streamed snapshots); what remained manual was the POLICY
+// LOOP: someone had to watch window_coverage()/load share and call
+// rebalance() at the right moment. This class is that someone. It is
+// deliberately split from the thread that runs it (control/service.hpp) and
+// from the deployment it controls (control/hosts.hpp):
+//
+//   controller (here)     pure decision state machine. tick(host) reads one
+//                         load sample, advances hysteresis/watermark/cadence
+//                         state, and invokes at most a handful of host
+//                         actions. All time comes from an injected
+//                         clock_face, every decision lands in the control
+//                         log - so tests drive ticks by hand with a
+//                         fake_clock and pin exact event sequences.
+//
+//   host (hosts.hpp)      the deployment being controlled: sample() exposes
+//                         producer-side per-shard load counters (safe to
+//                         read under the control lock without draining),
+//                         rebalance()/rescale()/checkpoint() execute the
+//                         mechanisms behind the drain barrier.
+//
+//   service (service.hpp) the monitor thread + control lock that pace
+//                         tick() in a live deployment.
+//
+// Decision semantics (each pinned by tests/controller_test.cpp):
+//
+//   * Rebalance alarm with HYSTERESIS: the per-tick segment load ratio
+//     (max/min packets per shard since the last judged tick) must stay at or
+//     above `load_ratio_high` for `sustain_ticks` consecutive ticks to raise
+//     the alarm; the alarm clears only when the ratio falls to
+//     `load_ratio_clear` or below. Load oscillating anywhere inside the
+//     (clear, high) band therefore causes ZERO transitions - the flap-free
+//     guarantee - and a sustained excursion whose migration brings the ratio
+//     down to the clear line triggers exactly once. While the alarm stays
+//     latched ABOVE the clear line after a migration (the plan was built
+//     from a distorted signal), the trigger re-arms every further sustain
+//     period rather than wedging raised: each retry plans from
+//     post-migration traffic, so successive migrations converge until the
+//     alarm actually clears.
+//   * COOLDOWN: a trigger landing within `rebalance_cooldown_ns` of the last
+//     migration is deferred (logged as rebalance_suppressed), then executed
+//     on the first tick after the cooldown expires - unless the excursion
+//     cleared itself meanwhile. Oscillating load can therefore never drive
+//     back-to-back migrations.
+//   * ELASTIC SCALING: when the sustained per-shard update rate crosses the
+//     high watermark the controller doubles the shard count (halves it below
+//     the low watermark), clamped to [min_shards, max_shards], through the
+//     host's reshard path - window state carried, no stream replay. Scaling
+//     re-baselines every observation (the world changed shape).
+//   * CHECKPOINT CADENCE: every `checkpoint_interval_ns` the host streams a
+//     checkpoint through the PR 8 chunked sink into the checkpoint store;
+//     a crashed shard is restored from the latest image (the fault-injection
+//     soak kills and restores mid-stream under TSan).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "control/clock.hpp"
+#include "control/events.hpp"
+
+namespace memento {
+
+/// One monitor observation: cumulative per-shard offered-packet counters
+/// (producer-side, monotonic between geometry changes) plus each shard's
+/// configured window size (for the derived coverage spread).
+struct control_sample {
+  std::vector<std::uint64_t> offered;
+  std::vector<std::uint64_t> window;
+};
+
+struct controller_config {
+  // --- monitor pacing -------------------------------------------------------
+  std::uint64_t sample_interval_ns = 100'000'000;  ///< 100 ms between judged ticks
+  /// Segments smaller than this are accumulated, not judged: a handful of
+  /// packets cannot witness imbalance, only noise.
+  std::uint64_t min_segment_packets = 4096;
+
+  // --- rebalance alarm (hysteresis band + cooldown) -------------------------
+  double load_ratio_high = 1.50;   ///< raise at or above (sustained)
+  double load_ratio_clear = 1.10;  ///< clear at or below
+  std::uint32_t sustain_ticks = 2; ///< consecutive breaches required to raise
+  std::uint64_t rebalance_cooldown_ns = 2'000'000'000;  ///< 2 s between migrations
+
+  // --- elastic scaling watermarks (per-shard packets/second; 0 = off) -------
+  double scale_up_pps = 0.0;
+  double scale_down_pps = 0.0;
+  std::uint32_t scale_sustain_ticks = 3;
+  std::size_t min_shards = 1;
+  std::size_t max_shards = 64;
+  std::uint64_t scale_cooldown_ns = 5'000'000'000;
+
+  // --- background checkpoints (0 = off) -------------------------------------
+  std::uint64_t checkpoint_interval_ns = 0;
+};
+
+class controller {
+ public:
+  controller(const controller_config& config, const clock_face& clock)
+      : cfg_(config), clk_(&clock) {}
+
+  /// One monitor step against the live deployment. Call under the control
+  /// lock (or single-threaded); see the file comment for the semantics.
+  template <typename Host>
+  void tick(Host& host) {
+    const std::uint64_t now = clk_->now_ns();
+    next_sample_ = now + cfg_.sample_interval_ns;
+
+    const control_sample s = host.sample();
+    const std::size_t shards = s.offered.size();
+    if (shards == 0) return;
+
+    bool reset = baseline_.size() != shards;
+    for (std::size_t i = 0; !reset && i < shards; ++i) {
+      // A counter running BACKWARD means the lane was rebuilt under us (a
+      // restore or an external adopt at the same shard count) - judging the
+      // wrapped difference would read as a phantom mega-segment.
+      reset = s.offered[i] < baseline_[i];
+    }
+    if (reset) {
+      // First tick, or the geometry changed under us (scale/restore):
+      // re-baseline and judge from the next segment.
+      rebaseline(s, now);
+      maybe_checkpoint(host, now);
+      return;
+    }
+
+    std::uint64_t seg_total = 0, seg_min = std::numeric_limits<std::uint64_t>::max(),
+                  seg_max = 0;
+    double cov_min = std::numeric_limits<double>::infinity(), cov_max = 0.0;
+    for (std::size_t i = 0; i < shards; ++i) {
+      const std::uint64_t d = s.offered[i] - baseline_[i];
+      seg_total += d;
+      seg_min = std::min(seg_min, d);
+      seg_max = std::max(seg_max, d);
+      // Coverage over the segment: global packets shard i's window spans,
+      // ~ W_i / rho_i with rho_i its realized load share (docs/ACCURACY.md).
+      const double cov = d > 0 ? static_cast<double>(s.window[i]) / static_cast<double>(d)
+                               : std::numeric_limits<double>::infinity();
+      cov_min = std::min(cov_min, cov);
+      cov_max = std::max(cov_max, cov);
+    }
+    if (seg_total < cfg_.min_segment_packets) {
+      // Too little traffic to judge; keep accumulating against the old
+      // baseline, but the checkpoint cadence is wall-clock, not load.
+      maybe_checkpoint(host, now);
+      return;
+    }
+    const double inf = std::numeric_limits<double>::infinity();
+    const double ratio = seg_min > 0
+                             ? static_cast<double>(seg_max) / static_cast<double>(seg_min)
+                             : inf;
+    const double spread = cov_min > 0.0 && cov_max < inf ? cov_max / cov_min : inf;
+    load_ratio_ = ratio;
+    coverage_spread_ = spread;
+    emit(control_event::sample, now, 0);
+
+    const bool scaled = maybe_scale(host, now, seg_total, shards);
+    if (!scaled) {
+      maybe_rebalance(host, now);
+      rebaseline(s, now);
+    }
+    maybe_checkpoint(host, now);
+  }
+
+  /// When the next tick is due: the earlier of the sample interval and the
+  /// checkpoint cadence. 0 before the first tick (run immediately).
+  [[nodiscard]] std::uint64_t next_due_ns() const noexcept {
+    if (next_checkpoint_ != 0 && next_checkpoint_ < next_sample_) return next_checkpoint_;
+    return next_sample_;
+  }
+
+  /// Appends an externally initiated decision (e.g. the service's restore
+  /// path) so the log stays the one authoritative trace.
+  void note(control_event kind, std::uint64_t detail = 0) {
+    emit(kind, clk_->now_ns(), detail, /*shards=*/baseline_.size());
+  }
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] const control_log& log() const noexcept { return log_; }
+  [[nodiscard]] bool alarm() const noexcept { return alarm_; }
+  [[nodiscard]] double last_load_ratio() const noexcept { return load_ratio_; }
+  [[nodiscard]] double last_coverage_spread() const noexcept { return coverage_spread_; }
+  [[nodiscard]] const controller_config& config() const noexcept { return cfg_; }
+
+ private:
+  void rebaseline(const control_sample& s, std::uint64_t now) {
+    baseline_ = s.offered;
+    baseline_time_ = now;
+  }
+
+  /// Watermark scaling; true when the geometry changed (the caller skips the
+  /// rebalance judgement - the new layout deserves a fresh look).
+  template <typename Host>
+  bool maybe_scale(Host& host, std::uint64_t now, std::uint64_t seg_total,
+                   std::size_t shards) {
+    if (cfg_.scale_up_pps <= 0.0 && cfg_.scale_down_pps <= 0.0) return false;
+    const std::uint64_t dt = now - baseline_time_;
+    if (dt == 0) return false;
+    const double per_shard_pps = static_cast<double>(seg_total) * 1e9 /
+                                 static_cast<double>(dt) / static_cast<double>(shards);
+    up_ticks_ = cfg_.scale_up_pps > 0.0 && per_shard_pps >= cfg_.scale_up_pps ? up_ticks_ + 1 : 0;
+    down_ticks_ =
+        cfg_.scale_down_pps > 0.0 && per_shard_pps <= cfg_.scale_down_pps ? down_ticks_ + 1 : 0;
+    if (now < scale_cooldown_until_) return false;
+
+    std::size_t target = shards;
+    control_event kind = control_event::scale_up;
+    if (up_ticks_ >= cfg_.scale_sustain_ticks && shards < cfg_.max_shards) {
+      target = std::min(cfg_.max_shards, shards * 2);
+    } else if (down_ticks_ >= cfg_.scale_sustain_ticks && shards > cfg_.min_shards) {
+      target = std::max(cfg_.min_shards, shards / 2);
+      kind = control_event::scale_down;
+    }
+    if (target == shards) return false;
+
+    const bool ok = host.rescale(target);
+    emit(ok ? kind : control_event::scale_rejected, now, target);
+    up_ticks_ = down_ticks_ = 0;
+    scale_cooldown_until_ = now + cfg_.scale_cooldown_ns;
+    if (!ok) return false;
+    // The world changed shape: drop every observation and alarm state.
+    baseline_.clear();
+    alarm_ = false;
+    breach_ticks_ = 0;
+    pending_rebalance_ = suppressed_logged_ = false;
+    return true;
+  }
+
+  /// Hysteresis state machine + cooldown-gated trigger.
+  template <typename Host>
+  void maybe_rebalance(Host& host, std::uint64_t now) {
+    if (!alarm_) {
+      breach_ticks_ = load_ratio_ >= cfg_.load_ratio_high ? breach_ticks_ + 1 : 0;
+      if (breach_ticks_ >= cfg_.sustain_ticks) {
+        alarm_ = true;
+        pending_rebalance_ = true;
+        suppressed_logged_ = false;
+        breach_ticks_ = 0;
+        emit(control_event::alarm_raised, now, 0);
+      }
+    } else if (load_ratio_ <= cfg_.load_ratio_clear) {
+      alarm_ = false;
+      breach_ticks_ = 0;
+      // The excursion resolved itself (or a migration landed): a deferred
+      // trigger must not fire into a balanced deployment.
+      pending_rebalance_ = false;
+      emit(control_event::alarm_cleared, now, 0);
+    } else if (!pending_rebalance_) {
+      // A migration landed but the ratio is still above the clear line: the
+      // alarm stays latched, so keep working it - re-arm after another
+      // sustain period instead of wedging raised. Thermostat hysteresis:
+      // only a >= high excursion RAISES the alarm, but once raised the
+      // controller retries until the ratio actually clears. Each retry sees
+      // post-migration traffic, so successive plans converge; a plan the
+      // rebalancer judges already balanced is a logged noop and arms no
+      // cooldown.
+      if (++breach_ticks_ >= cfg_.sustain_ticks) {
+        pending_rebalance_ = true;
+        suppressed_logged_ = false;
+        breach_ticks_ = 0;
+      }
+    }
+    if (!pending_rebalance_) return;
+    if (now < rebalance_cooldown_until_) {
+      if (!suppressed_logged_) {
+        emit(control_event::rebalance_suppressed, now, 0);
+        suppressed_logged_ = true;
+      }
+      return;
+    }
+    const bool did = host.rebalance();
+    emit(did ? control_event::rebalance_applied : control_event::rebalance_noop, now, 0);
+    pending_rebalance_ = false;
+    if (did) rebalance_cooldown_until_ = now + cfg_.rebalance_cooldown_ns;
+  }
+
+  template <typename Host>
+  void maybe_checkpoint(Host& host, std::uint64_t now) {
+    if (cfg_.checkpoint_interval_ns == 0) return;
+    if (next_checkpoint_ == 0) {  // first tick arms the cadence
+      next_checkpoint_ = now + cfg_.checkpoint_interval_ns;
+      return;
+    }
+    if (now < next_checkpoint_) return;
+    const std::size_t bytes = host.checkpoint();
+    emit(bytes > 0 ? control_event::checkpoint_taken : control_event::checkpoint_failed, now,
+         bytes);
+    next_checkpoint_ = now + cfg_.checkpoint_interval_ns;
+  }
+
+  void emit(control_event kind, std::uint64_t now, std::uint64_t detail,
+            std::size_t shards = 0) {
+    control_record r;
+    r.kind = kind;
+    r.at_ns = now;
+    r.load_ratio = load_ratio_;
+    r.coverage_spread = coverage_spread_;
+    r.shards = shards != 0 ? shards : baseline_.size();
+    r.detail = detail;
+    log_.append(r);
+  }
+
+  controller_config cfg_;
+  const clock_face* clk_;
+  control_log log_;
+
+  std::vector<std::uint64_t> baseline_;  ///< offered counters at the last judged tick
+  std::uint64_t baseline_time_ = 0;
+  std::uint64_t next_sample_ = 0;
+  std::uint64_t next_checkpoint_ = 0;
+
+  double load_ratio_ = 1.0;
+  double coverage_spread_ = 1.0;
+  bool alarm_ = false;
+  std::uint32_t breach_ticks_ = 0;
+  bool pending_rebalance_ = false;
+  bool suppressed_logged_ = false;
+  std::uint64_t rebalance_cooldown_until_ = 0;
+
+  std::uint32_t up_ticks_ = 0;
+  std::uint32_t down_ticks_ = 0;
+  std::uint64_t scale_cooldown_until_ = 0;
+};
+
+}  // namespace memento

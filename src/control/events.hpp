@@ -1,0 +1,105 @@
+// Structured decision log for the autonomic controller.
+//
+// "The sketch runs itself" is only a testable property if every decision the
+// controller takes - and every decision it deliberately does NOT take - is
+// observable as data. The controller therefore never acts silently: each
+// monitor tick appends one `sample` record, and every alarm transition,
+// rebalance, scale move, checkpoint and restore lands here with the clock
+// reading and the load picture that justified it. Tests pin EXACT kind
+// sequences (tests/controller_test.cpp), the fault-injection soak asserts
+// checkpoint/restore ordering, and the appliance folds the timestamps into
+// BENCH_fig5.json's controller section (time-to-recover after a skew shift).
+//
+// The log is a plain vector owned by the controller; in a threaded
+// deployment controller_service snapshots it under the control lock, so
+// readers never see a half-written record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace memento {
+
+/// What happened on a monitor tick. One enumerator per distinct decision so
+/// a pinned sequence reads as the controller's state-machine trace.
+enum class control_event : std::uint8_t {
+  sample,                ///< one monitor observation (always emitted on a judged tick)
+  alarm_raised,          ///< load ratio sustained above the high band edge
+  alarm_cleared,         ///< load ratio back below the clear band edge
+  rebalance_applied,     ///< coverage rebalancer migrated the keyspace
+  rebalance_noop,        ///< alarm fired but the policy found no better table
+  rebalance_suppressed,  ///< alarm fired inside the cooldown; deferred, not dropped
+  scale_up,              ///< shard count grew (sustained high watermark)
+  scale_down,            ///< shard count shrank (sustained low watermark)
+  scale_rejected,        ///< the host cannot rescale (or the reshard failed)
+  checkpoint_taken,      ///< background checkpoint streamed to the store
+  checkpoint_failed,     ///< the sink or the save refused
+  restored,              ///< frontend replaced from the latest checkpoint
+};
+
+[[nodiscard]] constexpr const char* control_event_name(control_event e) noexcept {
+  switch (e) {
+    case control_event::sample: return "sample";
+    case control_event::alarm_raised: return "alarm_raised";
+    case control_event::alarm_cleared: return "alarm_cleared";
+    case control_event::rebalance_applied: return "rebalance_applied";
+    case control_event::rebalance_noop: return "rebalance_noop";
+    case control_event::rebalance_suppressed: return "rebalance_suppressed";
+    case control_event::scale_up: return "scale_up";
+    case control_event::scale_down: return "scale_down";
+    case control_event::scale_rejected: return "scale_rejected";
+    case control_event::checkpoint_taken: return "checkpoint_taken";
+    case control_event::checkpoint_failed: return "checkpoint_failed";
+    case control_event::restored: return "restored";
+  }
+  return "?";
+}
+
+/// One log record: the decision plus the observation that drove it.
+/// `detail` is per-kind: checkpoint bytes for checkpoint_taken, the target
+/// shard count for scale_*, the restored stream length for restored,
+/// otherwise 0.
+struct control_record {
+  control_event kind = control_event::sample;
+  std::uint64_t at_ns = 0;        ///< clock_face reading at decision time
+  std::uint64_t seq = 0;          ///< monotonic record number
+  double load_ratio = 0.0;        ///< max/min per-shard segment load (inf when starved)
+  double coverage_spread = 0.0;   ///< max/min derived window coverage over the segment
+  std::size_t shards = 0;         ///< shard count when the record was written
+  std::uint64_t detail = 0;       ///< per-kind payload (see struct comment)
+};
+
+/// Append-only decision log. Not thread-safe by itself: the controller owns
+/// it and controller_service serializes access with the control lock.
+class control_log {
+ public:
+  void append(control_record r) {
+    r.seq = records_.size();
+    records_.push_back(r);
+  }
+
+  [[nodiscard]] const std::vector<control_record>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// The kind sequence with `sample` records elided - the shape tests pin
+  /// (every tick samples, so keeping them would bury the decisions).
+  [[nodiscard]] std::vector<control_event> decisions() const {
+    std::vector<control_event> out;
+    for (const auto& r : records_) {
+      if (r.kind != control_event::sample) out.push_back(r.kind);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t count(control_event kind) const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : records_) n += r.kind == kind ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<control_record> records_;
+};
+
+}  // namespace memento

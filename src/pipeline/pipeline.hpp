@@ -296,6 +296,14 @@ class pipeline {
     return frontend_.heavy_hitters(theta);
   }
 
+  /// Core c's producer-side ring counters (enqueued / drops / occupancy
+  /// high-water mark). Unlike report(), this is owned by the producer
+  /// thread and safe to read there WITHOUT draining - the controller's
+  /// monitor samples load share from these between bursts.
+  [[nodiscard]] const ring_stats& ingest_stats(std::size_t c) const noexcept {
+    return rx_stats_[c];
+  }
+
   /// Core c's accounting (same read discipline as frontend()).
   [[nodiscard]] core_report report(std::size_t c) const {
     const core_context& ctx = *contexts_[c];

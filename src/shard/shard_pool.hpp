@@ -59,6 +59,7 @@
 #include "shard/backpressure.hpp"
 #include "shard/sharded_memento.hpp"
 #include "shard/spsc_queue.hpp"
+#include "snapshot/reshard.hpp"
 #include "util/backoff.hpp"
 
 namespace memento {
@@ -74,23 +75,13 @@ class sharded_memento_pool {
   /// @param policy what a full ring does to the producer (see file comment).
   explicit sharded_memento_pool(const shard_config& config, std::size_t ring_capacity = 1u << 15,
                                 backpressure_policy policy = backpressure_policy::block)
-      : core_(config), scratch_(config.shards), stats_(config.shards), policy_(policy) {
+      : core_(config), scratch_(config.shards), stats_(config.shards), policy_(policy),
+        ring_capacity_(ring_capacity) {
     rings_.reserve(config.shards);
     for (std::size_t s = 0; s < config.shards; ++s) {
       rings_.push_back(std::make_unique<spsc_ring<Key>>(ring_capacity));
     }
-    workers_.reserve(config.shards);
-    try {
-      for (std::size_t s = 0; s < config.shards; ++s) {
-        workers_.emplace_back([this, s] { worker_loop(s); });
-      }
-    } catch (...) {
-      // Thread spawn failed partway: stop and join what exists, or the
-      // vector of joinable threads would std::terminate during unwinding.
-      stop_.store(true, std::memory_order_release);
-      for (auto& w : workers_) w.join();
-      throw;
-    }
+    spawn_workers(config.shards);
   }
 
   /// Drains outstanding work, then stops and joins every worker.
@@ -184,6 +175,54 @@ class sharded_memento_pool {
     return core_.rebalance(policy);
   }
 
+  // --- control-plane lifecycle hooks (producer thread only, like queries) ---
+
+  /// Elastic N -> M scale: quiesce, reshard the frontend onto `target`
+  /// shards through the snapshot transport (window state carried, no stream
+  /// replay), then rebuild the lanes - rings, stats, workers - to match.
+  /// The worker set is torn down first and respawned after, so no thread
+  /// ever observes a half-built geometry; completed ring totals are retired
+  /// into the aggregate counters so accounting stays exact across the swap.
+  /// False (and no change) when target equals the current count or the
+  /// reshard transport refuses the geometry.
+  bool rescale(std::size_t target) {
+    if (target == 0 || target == core_.num_shards()) return false;
+    drain();
+    shard_config cfg = core_.config_snapshot();
+    cfg.shards = target;
+    auto next = snapshot_builder::reshard(core_, cfg);
+    if (!next) return false;
+    halt_workers();
+    core_ = std::move(*next);
+    rebuild_lanes(target);
+    spawn_workers(target);
+    return true;
+  }
+
+  /// Replaces the whole frontend (e.g. restoring a checkpoint after a
+  /// crash). Same quiesce/teardown/respawn discipline as rescale; the lane
+  /// set follows the replacement's shard count.
+  void adopt(frontend_type&& replacement) {
+    drain();
+    halt_workers();
+    const std::size_t shards = replacement.num_shards();
+    core_ = std::move(replacement);
+    rebuild_lanes(shards);
+    spawn_workers(shards);
+  }
+
+  /// Fault injection: wipes shard s back to an empty sketch (its window,
+  /// candidates and stream accounting are lost), as if the shard's process
+  /// died and came back blank. Producer thread only, behind the drain
+  /// barrier - the worker re-resolves its shard reference per burst, so the
+  /// in-place replacement publishes through the next ring push like any
+  /// rebalance swap.
+  void kill_shard(std::size_t s) {
+    drain();
+    core_.shard_mut(s) =
+        typename frontend_type::sketch_type(frontend_type::shard_config_for(core_.config_snapshot(), s));
+  }
+
   // --- post-drain query passthroughs (each drains first for safety) --------
 
   [[nodiscard]] double query(const Key& x) const {
@@ -220,14 +259,66 @@ class sharded_memento_pool {
     return stats_[s];
   }
 
-  /// Total packets tail-dropped across shards (0 under the block policy).
+  /// Total packets tail-dropped across shards (0 under the block policy),
+  /// including rings retired by rescale()/adopt().
   [[nodiscard]] std::uint64_t total_drops() const noexcept {
-    std::uint64_t d = 0;
+    std::uint64_t d = retired_drops_;
     for (const auto& st : stats_) d += st.drops;
     return d;
   }
 
+  /// Total packets accepted across shards over the pool's whole life,
+  /// including rings retired by rescale()/adopt(). With the block policy
+  /// this equals packets offered - the exact-accounting anchor the
+  /// controller soak pins against stream_length().
+  [[nodiscard]] std::uint64_t total_enqueued() const noexcept {
+    std::uint64_t e = retired_enqueued_;
+    for (const auto& st : stats_) e += st.enqueued;
+    return e;
+  }
+
  private:
+  /// Stops and joins every worker, leaving the pool ready to respawn.
+  void halt_workers() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    stop_.store(false, std::memory_order_release);
+  }
+
+  /// Rebuilds rings/scratch/stats for a new shard count. Only call with the
+  /// workers halted and the rings drained; finished per-ring totals retire
+  /// into the aggregate counters first.
+  void rebuild_lanes(std::size_t shards) {
+    for (const auto& st : stats_) {
+      retired_enqueued_ += st.enqueued;
+      retired_drops_ += st.drops;
+    }
+    rings_.clear();
+    rings_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      rings_.push_back(std::make_unique<spsc_ring<Key>>(ring_capacity_));
+    }
+    scratch_.assign(shards, {});
+    offsets_.clear();
+    stats_.assign(shards, ring_stats{});
+  }
+
+  void spawn_workers(std::size_t shards) {
+    workers_.reserve(shards);
+    try {
+      for (std::size_t s = 0; s < shards; ++s) {
+        workers_.emplace_back([this, s] { worker_loop(s); });
+      }
+    } catch (...) {
+      // Thread spawn failed partway: stop and join what exists, or the
+      // vector of joinable threads would std::terminate during unwinding.
+      stop_.store(true, std::memory_order_release);
+      for (auto& w : workers_) w.join();
+      throw;
+    }
+  }
+
   void worker_loop(std::size_t s) {
     spsc_ring<Key>& ring = *rings_[s];
     idle_backoff backoff;
@@ -257,6 +348,9 @@ class sharded_memento_pool {
   std::vector<std::size_t> offsets_;       ///< per-shard delivered prefix of scratch_
   std::vector<ring_stats> stats_;          ///< per-shard producer-side accounting
   backpressure_policy policy_ = backpressure_policy::block;
+  std::size_t ring_capacity_;              ///< per-shard ring slots (for lane rebuilds)
+  std::uint64_t retired_enqueued_ = 0;     ///< totals from rings replaced by rescale/adopt
+  std::uint64_t retired_drops_ = 0;
   idle_backoff ingest_backoff_;            ///< producer's full-ring wait ladder
   std::atomic<bool> stop_{false};
   std::vector<std::thread> workers_;

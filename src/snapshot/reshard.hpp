@@ -293,7 +293,10 @@ class snapshot_builder {
       dst.head_ = 0;  // age a lives at slot (ring - a) % ring
       dst.clock_ = clock;
       dst.until_block_end_ = dst.block_len_ - clock % dst.block_len_;
-      dst.stream_length_ = sum_stream / m;
+      // Spread the remainder so the global stream length survives the move
+      // exactly: sum over shards of stream_length() is an accounting
+      // identity the controller's kill/restore soak pins packet-for-packet.
+      dst.stream_length_ = sum_stream / m + (s < sum_stream % m ? 1 : 0);
     }
     return true;
   }
